@@ -1,0 +1,33 @@
+PYTHON ?= python
+
+.PHONY: install test bench bench-full validate report examples clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Paper-scale fault-injection campaign (50 runs per workload, slow).
+bench-full:
+	REPRO_VALIDATION_RUNS=50 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+validate:
+	$(PYTHON) -m repro validate --runs 5
+
+report:
+	$(PYTHON) -m repro report
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/replicated_kv_store.py
+	$(PYTHON) examples/checkpoint_anatomy.py
+	$(PYTHON) examples/live_migration.py
+	$(PYTHON) examples/nine_lives.py
+
+clean:
+	find . -type d -name __pycache__ -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks build dist src/*.egg-info

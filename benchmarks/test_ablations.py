@@ -1,0 +1,82 @@
+"""Ablation benches beyond the paper's tables (see DESIGN.md)."""
+
+from repro.experiments.ablations import (
+    run_detection_sweep,
+    run_epoch_sweep,
+    run_leave_one_out,
+    run_rto_patch_ablation,
+)
+
+
+def test_leave_one_out(benchmark):
+    rows = benchmark.pedantic(run_leave_one_out, rounds=1, iterations=1)
+    print("\nAblation — leave-one-out on the fully optimized system:")
+    for row in rows:
+        print(f"  {row['variant']:<20} overhead {row['overhead_pct']:6.1f}%  "
+              f"stop {row['avg_stop_ms']:6.1f} ms")
+    by = {row["variant"]: row["overhead_pct"] for row in rows}
+    full = by["full"]
+    # Every disabled optimization hurts; the state cache hurts the most.
+    for variant, overhead in by.items():
+        if variant != "full":
+            assert overhead >= full - 2, (variant, overhead, full)
+    assert by["-state-cache"] == max(by.values())
+    assert by["-state-cache"] > full * 5
+    assert by["-freeze-polling"] > full + 100  # the 100 ms sleep per epoch
+    assert by["-plug-input-block"] > full + 10  # ~7 ms firewall per epoch
+
+
+def test_epoch_length_sweep(benchmark):
+    rows = benchmark.pedantic(run_epoch_sweep, rounds=1, iterations=1)
+    print("\nAblation — epoch length sweep (streamcluster):")
+    for row in rows:
+        print(f"  epoch {row['epoch_ms']:>4} ms: overhead {row['overhead_pct']:6.1f}%  "
+              f"stop {row['avg_stop_ms']:5.1f} ms  dirty {row['avg_dirty']:6.0f}")
+    by = {row["epoch_ms"]: row for row in rows}
+    # Longer epochs amortize per-checkpoint cost: overhead falls.
+    assert by[10]["overhead_pct"] > by[30]["overhead_pct"] > by[120]["overhead_pct"]
+    # Dirty pages per epoch grow with epoch length (more work per epoch).
+    assert by[120]["avg_dirty"] > by[30]["avg_dirty"] > by[10]["avg_dirty"]
+
+
+def test_rto_patch_ablation(benchmark):
+    rows = benchmark.pedantic(run_rto_patch_ablation, rounds=1, iterations=1)
+    print("\nAblation — SSV-E repaired-socket minimum-RTO patch:")
+    for row in rows:
+        print(f"  patch={str(row['rto_patch']):<5} interruption "
+              f"{row['interruption_ms']:7.0f} ms (restore {row['restore_ms']:.0f} ms)")
+    by = {row["rto_patch"]: row for row in rows}
+    # Without the patch the restored sockets wait >= 1 s before
+    # retransmitting: recovery as seen by the client gets visibly worse.
+    assert by[False]["interruption_ms"] > by[True]["interruption_ms"] + 200
+
+
+def test_compression_ablation(benchmark):
+    from repro.experiments.ablations import run_compression_ablation
+
+    rows = benchmark.pedantic(run_compression_ablation, rounds=1, iterations=1)
+    print("\nAblation — Remus-style transfer compression (redis):")
+    for row in rows:
+        print(f"  compressed={str(row['compressed']):<5} link "
+              f"{row['link_mb_per_s']:7.1f} MB/s  thr {row['throughput']:9.0f} ops/s  "
+              f"backup {row['backup_cores']:.3f} cores")
+    by = {row["compressed"]: row for row in rows}
+    # Compression slashes pair-link bandwidth...
+    assert by[True]["link_mb_per_s"] < 0.5 * by[False]["link_mb_per_s"]
+    # ...at a small decompression cost on the backup...
+    assert by[True]["backup_cores"] > by[False]["backup_cores"]
+    # ...without wrecking throughput (it runs off the critical path).
+    assert by[True]["throughput"] > 0.85 * by[False]["throughput"]
+
+
+def test_detection_interval_sweep(benchmark):
+    rows = benchmark.pedantic(run_detection_sweep, rounds=1, iterations=1)
+    print("\nAblation — heartbeat interval vs detection latency:")
+    for row in rows:
+        print(f"  interval {row['interval_ms']:>3} ms: detection "
+              f"{row['detection_ms']:6.1f} ms, interruption {row['interruption_ms']:6.0f} ms")
+    by = {row["interval_ms"]: row for row in rows}
+    # Detection latency ~= 3-4 intervals.
+    for interval, row in by.items():
+        assert 2 * interval <= row["detection_ms"] <= 6 * interval, row
+    assert by[10]["detection_ms"] < by[90]["detection_ms"]

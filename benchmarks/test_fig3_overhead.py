@@ -1,0 +1,51 @@
+"""Figure 3: performance overhead, NiLiCon vs MC, with breakdown.
+
+Regenerates the stacked-bar data of the paper's Figure 3 and asserts its
+shape claims (see :mod:`repro.experiments.fig3`).
+"""
+
+from repro.experiments.fig3 import PAPER_FIG3, format_rows, rows_from_suite
+from repro.experiments.suite import PAPER_BENCHMARKS
+
+
+def test_fig3_overhead(benchmark, suite):
+    rows = benchmark.pedantic(rows_from_suite, args=(suite,), rounds=1, iterations=1)
+    print("\nFigure 3 — performance overhead (percent):")
+    print(format_rows(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # Every benchmark pays a real but sub-100% overhead under NiLiCon.
+    for name in PAPER_BENCHMARKS:
+        assert 5 < by_name[name]["nilicon_overhead_pct"] < 95, name
+        assert 5 < by_name[name]["mc_overhead_pct"] < 95, name
+
+    # NiLiCon's runtime component is lower than MC's for every benchmark
+    # (soft-dirty faults vs VM exits, SSVII-C).
+    for name in PAPER_BENCHMARKS:
+        assert (
+            by_name[name]["nilicon_runtime_pct"] < by_name[name]["mc_runtime_pct"]
+        ), name
+
+    # Who wins where: MC on the CPU-light compute benchmark, NiLiCon on the
+    # I/O-heavy databases (paper Figure 3).
+    assert by_name["swaptions"]["mc_overhead_pct"] < by_name["swaptions"]["nilicon_overhead_pct"]
+    assert by_name["redis"]["nilicon_overhead_pct"] < by_name["redis"]["mc_overhead_pct"]
+    assert by_name["ssdb"]["nilicon_overhead_pct"] < by_name["ssdb"]["mc_overhead_pct"]
+
+    # For NiLiCon the stop component dominates for most benchmarks.
+    stop_dominated = sum(
+        1
+        for name in PAPER_BENCHMARKS
+        if by_name[name]["nilicon_stopped_pct"] > by_name[name]["nilicon_runtime_pct"]
+    )
+    assert stop_dominated >= 5
+
+    # Ordering sanity vs the paper within each system: the cheapest and the
+    # most expensive NiLiCon benchmarks match the paper's extremes.
+    measured_order = sorted(
+        PAPER_BENCHMARKS, key=lambda n: by_name[n]["nilicon_overhead_pct"]
+    )
+    assert measured_order[0] == "swaptions"
+    paper_order = sorted(PAPER_BENCHMARKS, key=lambda n: PAPER_FIG3[n]["nilicon"])
+    assert paper_order[0] == "swaptions"

@@ -1,0 +1,31 @@
+"""Table I: cumulative impact of NiLiCon's performance optimizations."""
+
+from repro.experiments.table1 import PAPER_TABLE1, format_rows, run_table1
+from repro.replication.config import TABLE1_LEVELS
+
+
+def test_table1_optimization_walk(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print("\nTable I — impact of NiLiCon's performance optimizations (streamcluster):")
+    print(format_rows(rows))
+
+    assert [row["label"] for row in rows] == list(TABLE1_LEVELS)
+    overheads = [row["overhead_pct"] for row in rows]
+
+    # Monotone improvement as optimizations stack.
+    assert all(a >= b for a, b in zip(overheads, overheads[1:])), overheads
+
+    # The basic implementation is catastrophic (paper: 1940%).
+    assert overheads[0] > 400
+    # Optimizing CRIU alone leaves it far from usable (paper: 619%).
+    assert overheads[1] > 150
+    # Caching infrequently-modified state is the big cliff (paper: 84%).
+    assert overheads[2] < overheads[1] / 3
+    assert overheads[2] < 150
+    # The fully optimized system lands in the tens of percent (paper: 31%).
+    assert 15 < overheads[-1] < 60
+
+    # Each of the last four optimizations still helps measurably.
+    assert overheads[2] - overheads[3] > 1  # plug input blocking (~7 ms/epoch)
+    assert overheads[4] - overheads[5] >= 0  # staging buffer
+    assert overheads[5] - overheads[6] >= 0  # shm transfer

@@ -1,0 +1,33 @@
+"""Table III: average stop time and dirty pages per epoch, MC vs NiLiCon."""
+
+from repro.experiments.suite import PAPER_BENCHMARKS
+from repro.experiments.table3 import PAPER_TABLE3, format_rows, rows_from_suite
+
+
+def test_table3_stop_time_and_dirty_pages(benchmark, suite):
+    rows = benchmark.pedantic(rows_from_suite, args=(suite,), rounds=1, iterations=1)
+    print("\nTable III — average stop time and dirty pages per epoch:")
+    print(format_rows(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # NiLiCon stops longer than MC for every benchmark: container in-kernel
+    # state must be collected through slow kernel interfaces (SSV).
+    for name in PAPER_BENCHMARKS:
+        assert by_name[name]["nilicon_stop_ms"] > by_name[name]["mc_stop_ms"], name
+
+    # Node has NiLiCon's largest stop time (socket collection, 128 clients).
+    worst = max(PAPER_BENCHMARKS, key=lambda n: by_name[n]["nilicon_stop_ms"])
+    assert worst == "node"
+
+    # Stop times land within 2x of the paper's absolute values.
+    for name in PAPER_BENCHMARKS:
+        measured = by_name[name]["nilicon_stop_ms"]
+        paper = PAPER_TABLE3[name]["nilicon_stop_ms"]
+        assert 0.4 * paper < measured < 2.5 * paper, (name, measured, paper)
+
+    # Dirty-page ordering: the memory-churning benchmarks (redis, node)
+    # dirty the most; swaptions the least.
+    dirty = {n: by_name[n]["nilicon_dpages"] for n in PAPER_BENCHMARKS}
+    assert min(dirty, key=dirty.get) == "swaptions"
+    assert sorted(dirty, key=dirty.get, reverse=True)[0] in ("redis", "node")

@@ -1,0 +1,37 @@
+"""Table IV: stop-time and state-size distributions (P10/P50/P90)."""
+
+from repro.experiments.suite import PAPER_BENCHMARKS
+from repro.experiments.table4 import format_rows, rows_from_suite
+
+
+def test_table4_stop_and_state_percentiles(benchmark, suite):
+    rows = benchmark.pedantic(rows_from_suite, args=(suite,), rounds=1, iterations=1)
+    print("\nTable IV — stop time and transferred state size (P10/P50/P90):")
+    print(format_rows(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # Percentiles are ordered for every benchmark.
+    for name in PAPER_BENCHMARKS:
+        p10, p50, p90 = by_name[name]["stop_ms"]
+        assert p10 <= p50 <= p90, name
+        s10, s50, s90 = by_name[name]["state_mb"]
+        assert s10 <= s50 <= s90, name
+
+    # Redis and Node transfer the most state (tens of MB median), the
+    # compute benchmarks the least (sub-MB) — Table IV's spread.
+    medians = {n: by_name[n]["state_mb"][1] for n in PAPER_BENCHMARKS}
+    top_two = sorted(medians, key=medians.get, reverse=True)[:2]
+    assert set(top_two) <= {"redis", "node", "djcms"}
+    assert medians["swaptions"] < 1.0
+    assert medians["streamcluster"] < 2.0
+    assert medians["redis"] > 5.0
+
+    # Dirty pages dominate the transferred state (85%-95%+, SSVII-C): check
+    # via the suite's NiLiCon runs.
+    for name in ("redis", "node"):
+        metrics = suite[(name, "nilicon")].metrics
+        epochs = metrics.steady_epochs()
+        page_bytes = sum(e.dirty_pages for e in epochs) * 4096
+        total_bytes = sum(e.state_bytes for e in epochs)
+        assert page_bytes / total_bytes > 0.80, name

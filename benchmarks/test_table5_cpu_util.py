@@ -1,0 +1,32 @@
+"""Table V: core utilization on the active and backup hosts."""
+
+from repro.experiments.suite import PAPER_BENCHMARKS
+from repro.experiments.table5 import PAPER_TABLE5, format_rows, rows_from_suite
+
+
+def test_table5_core_utilization(benchmark, suite):
+    rows = benchmark.pedantic(rows_from_suite, args=(suite,), rounds=1, iterations=1)
+    print("\nTable V — core utilization, active vs backup host:")
+    print(format_rows(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # The warm-spare advantage: backup utilization far below active for
+    # every benchmark (the argument against active replication, SSVIII).
+    for name in PAPER_BENCHMARKS:
+        row = by_name[name]
+        assert row["backup_cores"] < 0.6, name
+        assert row["backup_cores"] < row["active_cores"] / 2, name
+
+    # Multi-threaded/multi-process benchmarks saturate ~their core count.
+    assert by_name["swaptions"]["active_cores"] > 3.0
+    assert by_name["streamcluster"]["active_cores"] > 3.0
+    assert by_name["lighttpd"]["active_cores"] > 2.5
+    # Single-threaded servers stay around one core.
+    assert by_name["redis"]["active_cores"] < 1.6
+    assert by_name["node"]["active_cores"] < 1.6
+
+    # Node's backup costs more than the compute benchmarks' (fine-grained
+    # socket state arrives in many small chunks).
+    assert by_name["node"]["backup_cores"] > by_name["swaptions"]["backup_cores"]
+    assert by_name["node"]["backup_cores"] > by_name["streamcluster"]["backup_cores"]

@@ -1,0 +1,39 @@
+"""Table VI: single-client response latency, stock vs NiLiCon."""
+
+from repro.experiments.table6 import SERVER_BENCHMARKS, format_rows, run_table6
+
+
+def test_table6_single_client_latency(benchmark):
+    rows = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    print("\nTable VI — response latency with a single client:")
+    print(format_rows(rows))
+
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # Replication always adds latency.
+    for name in SERVER_BENCHMARKS:
+        assert by_name[name]["nilicon_ms"] > by_name[name]["stock_ms"], name
+
+    # For fast-request benchmarks the buffering delay dominates: the added
+    # latency is on the order of an epoch-plus-stop (tens of ms) and an
+    # order of magnitude above stock (paper: Redis 3.1 -> 36.9, Node
+    # 2.4 -> 39.4).
+    for name in ("redis", "node"):
+        row = by_name[name]
+        assert row["stock_ms"] < 10
+        assert 20 < row["nilicon_ms"] < 90
+        assert row["nilicon_ms"] / row["stock_ms"] > 4
+
+    # For slow-request benchmarks processing dominates; the relative
+    # increase is mild (paper: SSDB 1.5x, Lighttpd 1.9x, DJCMS 2.8x).
+    for name in ("ssdb", "lighttpd", "djcms"):
+        row = by_name[name]
+        ratio = row["nilicon_ms"] / row["stock_ms"]
+        assert ratio < 4, (name, ratio)
+
+    # The *added* latency is at least one commit cycle for everyone, and
+    # for the heavyweight requests additionally the checkpoint-stop
+    # stretching of the processing itself (lighttpd: 285 -> 542 ms).
+    for name in SERVER_BENCHMARKS:
+        delta = by_name[name]["nilicon_ms"] - by_name[name]["stock_ms"]
+        assert 15 < delta < 400, (name, delta)

@@ -1,0 +1,32 @@
+"""§VII-A validation: fault-injection recovery campaign.
+
+The paper runs 50 injections per benchmark and reports a 100% recovery
+rate with no broken connections.  The default here is a reduced campaign
+(REPRO_VALIDATION_RUNS=5 per workload, every workload class represented);
+set REPRO_VALIDATION_RUNS=50 for the paper-scale campaign.
+"""
+
+from repro.experiments.validation import (
+    VALIDATION_WORKLOADS,
+    format_rows,
+    run_validation_campaign,
+)
+
+from .conftest import validation_runs
+
+
+def test_validation_recovery_rate(benchmark):
+    runs = validation_runs()
+    results = benchmark.pedantic(
+        run_validation_campaign,
+        kwargs={"workloads": VALIDATION_WORKLOADS, "runs_per_workload": runs},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nSSVII-A — fault-injection campaign ({runs} runs per workload):")
+    print(format_rows(results))
+    for campaign in results:
+        assert campaign.recovery_rate == 1.0, (
+            campaign.workload,
+            campaign.failures[:5],
+        )

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Live migration: move a running container between hosts, mid-conversation.
+
+Uses the CRIU engine's native mode (iterative pre-copy) rather than
+replication: memory streams across while the container keeps serving, then
+a brief stop-and-copy moves the remaining dirty pages and all in-kernel
+state — and the client's TCP connection never notices the container moved.
+
+Run:  python examples/live_migration.py
+"""
+
+from repro.container import ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.criu.migrate import LiveMigration
+from repro.kernel.netdev import NetDevice
+from repro.kernel.tcp import TcpStack
+from repro.net import World
+from repro.sim import Interrupt, ms, sec
+
+PORT = 5050
+
+
+def main() -> None:
+    world = World(seed=11)
+    src = ContainerRuntime(world.primary.kernel, world.bridge)
+    dst = ContainerRuntime(world.backup.kernel, world.bridge)
+
+    spec = ContainerSpec(
+        name="webapp",
+        ip="10.0.1.30",
+        processes=[ProcessSpec(comm="webapp", n_threads=2, heap_pages=4000)],
+    )
+    container = src.create(spec)
+
+    # Populate a working set so the pre-copy has something to stream.
+    proc = container.processes[0]
+    heap = container.heap_vma
+    for i in range(2000):
+        proc.mm.write(heap.start + i, f"obj-{i}".encode())
+
+    # A tiny echo service, re-attachable to whichever container holds state.
+    def serve(c, sock):
+        while not c.dead:
+            try:
+                data = yield sock.recv(256)
+            except Exception:
+                return
+            if data == b"":
+                return
+            if not c.dead:
+                sock.send(b"ok:" + data)
+
+    def accept_loop(c, listener):
+        while not c.dead:
+            try:
+                child = yield listener.accept()
+            except (Interrupt, Exception):
+                return
+            world.engine.process(serve(c, child))
+
+    listener = container.stack.socket()
+    listener.listen(PORT)
+    world.engine.process(accept_loop(container, listener))
+
+    # Client keeps talking throughout.
+    stack = TcpStack(world.engine, world.costs, "10.0.9.30", name="client")
+    dev = NetDevice("c-eth", "10.0.9.30", "c", world.engine)
+    stack.attach_device(dev)
+    world.bridge.attach(dev)
+    replies = []
+
+    def client():
+        sock = stack.socket()
+        yield sock.connect("10.0.1.30", PORT)
+        buffered = b""
+        for i in range(50):
+            msg = f"ping-{i:02d}".encode()
+            sock.send(msg)
+            want = len(b"ok:") + len(msg)
+            while len(buffered) < want:
+                chunk = yield sock.recv(256)
+                buffered += chunk
+            replies.append(buffered[:want])
+            buffered = buffered[want:]
+            yield world.engine.timeout(ms(8))
+
+    world.engine.process(client())
+
+    stats_box = []
+
+    def migrate():
+        yield world.engine.timeout(ms(120))
+        print(f"t={world.now / 1000:7.1f} ms  starting live migration primary -> backup")
+        migration = LiveMigration(
+            src, dst, world.primary.endpoint("pair"), world.backup.endpoint("pair")
+        )
+        new_container, stats = yield from migration.migrate(container)
+        for port, lst in new_container.stack.listeners.items():
+            world.engine.process(accept_loop(new_container, lst))
+        for sock in list(new_container.stack.connections.values()):
+            world.engine.process(serve(new_container, sock))
+        stats_box.append(stats)
+        print(f"t={world.now / 1000:7.1f} ms  migration complete")
+
+    world.engine.process(migrate())
+    world.run(until=sec(20))
+
+    stats = stats_box[0]
+    print(f"\npre-copy rounds (pages): {stats.rounds}")
+    print(f"downtime: {stats.downtime_us / 1000:.1f} ms   "
+          f"total: {stats.total_us / 1000:.1f} ms   "
+          f"shipped: {stats.total_bytes / 1e6:.1f} MB")
+    assert len(replies) == 50 and all(r.startswith(b"ok:ping-") for r in replies)
+    assert all(s.state.value != "reset" for s in stack.connections.values())
+    print("50/50 echoes received across the migration; TCP connection intact. ✔")
+
+
+if __name__ == "__main__":
+    main()

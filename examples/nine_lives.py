@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Nine lives: survive a chain of host failures with one TCP connection.
+
+Deploys a counter service, then alternates: kill the current primary →
+failover → re-protect onto a fresh spare host → kill again.  One client
+connection rides through every failover; the counter never goes backwards
+and never skips.
+
+Run:  python examples/nine_lives.py
+"""
+
+from repro.container import ContainerSpec, ProcessSpec
+from repro.kernel.netdev import NetDevice
+from repro.kernel.tcp import TcpStack
+from repro.net import World
+from repro.replication import ReplicatedDeployment
+from repro.sim import Interrupt, ms, sec
+
+PORT = 9100
+N_FAILURES = 3
+
+
+class CounterService:
+    def __init__(self, world):
+        self.world = world
+
+    def attach(self, container):
+        stack = container.stack
+        listener = stack.listeners.get(PORT)
+        if listener is None:
+            listener = stack.socket()
+            listener.listen(PORT)
+        self.world.engine.process(self._accept(container, listener))
+        for sock in list(stack.connections.values()):
+            self.world.engine.process(self._serve(container, sock))
+
+    def _accept(self, container, listener):
+        while not container.dead:
+            try:
+                child = yield listener.accept()
+            except Interrupt:
+                return
+            self.world.engine.process(self._serve(container, child))
+
+    def _serve(self, container, sock):
+        process = container.processes[0]
+        page = container.heap_vma.start
+        while not container.dead:
+            try:
+                data = yield sock.recv(64)
+            except Exception:
+                return
+            if data == b"":
+                return
+
+            def bump():
+                value = int(process.mm.read(page) or b"0") + 1
+                process.mm.write(page, str(value).encode())
+                sock.send(f"{value};".encode())
+
+            try:
+                yield from container.run_slice(process, 120, mutate=bump)
+            except Exception:
+                return
+
+
+def main() -> None:
+    world = World(seed=99)
+    service = CounterService(world)
+    spec = ContainerSpec(
+        name="ninelives",
+        ip="10.0.1.77",
+        processes=[ProcessSpec(comm="counter", n_threads=1, heap_pages=64)],
+    )
+    deployment = ReplicatedDeployment(world, spec, on_failover=service.attach)
+    service.attach(deployment.container)
+    deployment.start()
+
+    stack = TcpStack(world.engine, world.costs, "10.0.9.99", name="client")
+    dev = NetDevice("nl-eth", "10.0.9.99", "nl", world.engine)
+    stack.attach_device(dev)
+    world.bridge.attach(dev)
+
+    counts: list[int] = []
+
+    def client():
+        sock = stack.socket()
+        yield sock.connect("10.0.1.77", PORT)
+        buffered = ""
+        for _ in range(34 * (N_FAILURES + 1)):
+            sock.send(b"+")
+            while ";" not in buffered:
+                chunk = yield sock.recv(64)
+                buffered += chunk.decode()
+            value, _, buffered = buffered.partition(";")
+            counts.append(int(value))
+            yield world.engine.timeout(ms(25))
+
+    world.engine.process(client())
+
+    state = {"deployment": deployment, "lives": 0}
+
+    def orchestrate():
+        for failure in range(N_FAILURES):
+            yield world.engine.timeout(ms(1200))
+            current = state["deployment"]
+            host = current.primary_host.name
+            print(f"t={world.now / 1e6:5.2f}s  killing primary on {host!r} "
+                  f"(failure #{failure + 1})")
+            current.inject_fail_stop()
+            while current.restored_container is None:
+                yield world.engine.timeout(ms(20))
+            print(f"t={world.now / 1e6:5.2f}s  recovered on "
+                  f"{current.backup_host.name!r}; counter="
+                  f"{int(current.restored_container.processes[0].mm.read(current.restored_container.heap_vma.start) or b'0')}")
+            state["lives"] += 1
+            if failure < N_FAILURES - 1:
+                spare = world.add_host(f"spare-{failure}")
+                redeployment = current.reprotect(spare)
+                redeployment.start()
+                state["deployment"] = redeployment
+                print(f"t={world.now / 1e6:5.2f}s  re-protected onto {spare.name!r}")
+
+    world.engine.process(orchestrate())
+    world.run(until=sec(40))
+
+    assert state["lives"] == N_FAILURES
+    assert counts, "client made no progress"
+    assert counts == sorted(counts) and len(set(counts)) == len(counts)
+    assert all(s.state.value != "reset" for s in stack.connections.values())
+    print(f"\nSurvived {N_FAILURES} host failures; client observed "
+          f"{len(counts)} strictly increasing counter values "
+          f"({counts[0]}..{counts[-1]}) on ONE TCP connection. ✔")
+
+
+if __name__ == "__main__":
+    main()

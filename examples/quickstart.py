@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Quickstart: replicate a container, kill the primary, watch it survive.
+
+Builds the paper's testbed (primary + backup + client hosts), deploys a
+counter service under NiLiCon replication, drives it with a client,
+injects a fail-stop primary failure mid-run — and shows that the client's
+TCP connection survives, no acknowledged update is lost, and service
+resumes on the backup within a few hundred milliseconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.container import ContainerSpec, ProcessSpec
+from repro.kernel.netdev import NetDevice
+from repro.kernel.tcp import TcpStack
+from repro.net import World
+from repro.replication import ReplicatedDeployment
+from repro.sim import Interrupt, ms, sec
+
+PORT = 9000
+
+
+# --------------------------------------------------------------------- #
+# A tiny replicated service: one counter page in container memory.       #
+# --------------------------------------------------------------------- #
+class CounterService:
+    """Increments a counter in container memory for every request."""
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+
+    def attach(self, container) -> None:
+        """Start serving — called at deploy time AND again after failover,
+        where it resumes from the restored kernel/memory state."""
+        stack = container.stack
+        listener = stack.listeners.get(PORT)
+        if listener is None:
+            listener = stack.socket()
+            listener.listen(PORT)
+        self.world.engine.process(self._accept_loop(container, listener))
+        for sock in list(stack.connections.values()):
+            self.world.engine.process(self._handle(container, sock))
+
+    def _accept_loop(self, container, listener):
+        while not container.dead:
+            try:
+                child = yield listener.accept()
+            except Interrupt:
+                return
+            self.world.engine.process(self._handle(container, child))
+
+    def _handle(self, container, sock):
+        process = container.processes[0]
+        page = container.heap_vma.start
+        while not container.dead:
+            try:
+                data = yield sock.recv(64)
+            except Exception:
+                return
+            if data == b"":
+                return
+
+            def bump():
+                value = int(process.mm.read(page) or b"0") + 1
+                process.mm.write(page, str(value).encode())
+                sock.send(f"count={value};".encode())
+
+            try:
+                yield from container.run_slice(process, 150, mutate=bump)
+            except Exception:
+                return
+
+
+def main() -> None:
+    # 1. The testbed: primary/backup pair + client network (paper SSVI).
+    world = World(seed=42)
+
+    # 2. Describe the container and deploy it under NiLiCon.
+    spec = ContainerSpec(
+        name="counter",
+        ip="10.0.1.10",
+        processes=[ProcessSpec(comm="counter", n_threads=1, heap_pages=64)],
+    )
+    service = CounterService(world)
+    deployment = ReplicatedDeployment(world, spec, on_failover=service.attach)
+    service.attach(deployment.container)
+    deployment.start()
+
+    # 3. A client on the client host, talking plain TCP.
+    stack = TcpStack(world.engine, world.costs, "10.0.9.50", name="client")
+    dev = NetDevice("client-eth", "10.0.9.50", "0c:50", world.engine)
+    stack.attach_device(dev)
+    world.bridge.attach(dev)
+
+    received: list[str] = []
+
+    def client():
+        sock = stack.socket()
+        yield sock.connect("10.0.1.10", PORT)
+        buffered = ""
+        for i in range(40):
+            sock.send(b"INC!")
+            while ";" not in buffered:
+                chunk = yield sock.recv(64)
+                buffered += chunk.decode()
+            reply, _, buffered = buffered.partition(";")
+            received.append(reply)
+            print(f"  t={world.now / 1000:8.1f} ms  {reply}")
+            yield world.engine.timeout(ms(40))
+
+    world.engine.process(client())
+
+    # 4. Pull the plug on the primary mid-run.
+    def fault():
+        yield world.engine.timeout(ms(800))
+        print(f"  t={world.now / 1000:8.1f} ms  *** primary fail-stop injected ***")
+        deployment.inject_fail_stop()
+
+    world.engine.process(fault())
+    world.run(until=sec(10))
+
+    # 5. The proof: every request answered, counter strictly increasing.
+    counts = [int(r.split("=")[1]) for r in received]
+    assert len(counts) == 40, f"only {len(counts)} replies"
+    assert counts == sorted(counts) and len(set(counts)) == 40
+    assert deployment.failed_over and deployment.restored_container is not None
+    assert deployment.audit_output_commit() == []
+    detector = deployment.backup_agent.detector
+    print(
+        f"\nFailover verified: 40/40 requests served, counter monotonic, "
+        f"no broken connection.\nDetection {detector.fired_at / 1000:.0f} ms after "
+        f"start; recovery breakdown: {deployment.metrics.recovery}"
+    )
+
+
+if __name__ == "__main__":
+    main()

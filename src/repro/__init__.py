@@ -1,0 +1,35 @@
+"""NiLiCon reproduction: fault-tolerant containers on a simulated substrate.
+
+Reproduction of Zhou & Tamir, "Fault-Tolerant Containers Using NiLiCon"
+(IPDPS 2020).  See README.md for the tour, DESIGN.md for the architecture
+and substitution rationale, EXPERIMENTS.md for paper-vs-measured results.
+
+Top-level convenience re-exports cover the pieces a typical user script
+needs; subpackages hold the full API:
+
+* :mod:`repro.sim` — deterministic discrete-event engine.
+* :mod:`repro.kernel` — the simulated Linux substrate.
+* :mod:`repro.container` — the runC-like container runtime.
+* :mod:`repro.criu` — checkpoint/restore and live migration.
+* :mod:`repro.replication` — NiLiCon itself.
+* :mod:`repro.baselines` — stock and MC (Remus-on-KVM) comparisons.
+* :mod:`repro.workloads` — the paper's benchmarks and clients.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.container import Container, ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.net import World
+from repro.replication import NiliconConfig, ReplicatedDeployment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Container",
+    "ContainerRuntime",
+    "ContainerSpec",
+    "NiliconConfig",
+    "ProcessSpec",
+    "ReplicatedDeployment",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Comparison systems: stock (unreplicated) and MC (Remus-on-KVM).
+
+* :mod:`~repro.baselines.stock` — the container with no replication at
+  all; the denominator of every overhead number in the paper.
+* :mod:`~repro.baselines.mc` — QEMU micro-checkpointing, the paper's
+  VM-granularity Remus implementation.  MC pauses the whole VM (fast,
+  hypervisor-side — no syscall storms to collect in-kernel state), tracks
+  dirty pages by write-protection (expensive VM exits at runtime), ships
+  guest-kernel pages as well as application pages, and uses the same
+  Remus output-commit machinery.  Per the paper's setup, MC runs with a
+  local disk and no disk replication (§VII-C).
+"""
+
+from repro.baselines.mc import McDeployment
+from repro.baselines.stock import StockDeployment
+
+__all__ = ["McDeployment", "StockDeployment"]

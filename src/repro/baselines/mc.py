@@ -1,0 +1,188 @@
+"""MC: QEMU micro-checkpointing — the Remus-on-KVM baseline (paper §VI).
+
+MC applies the identical Remus protocol at VM granularity.  The modeled
+differences from NiLiCon, each tied to a paper observation:
+
+* **Stop phase** — pausing a VM and reading its device state from the
+  hypervisor is cheap and flat (~2 ms + ~1.2 µs/dirty page; Table III),
+  because none of the container's in-kernel state has to be pried out of
+  a running kernel through syscalls.
+* **Runtime phase** — dirty tracking uses write protection: the first
+  write to each page per epoch takes a VM exit + entry, an order of
+  magnitude costlier than a soft-dirty fault.  "NiLiCon's runtime overhead
+  component is lower than MC's for all the benchmarks" (§VII-C).  On top,
+  a per-slice CPU tax models general virtualization overhead (I/O exits,
+  interrupt virtualization), configurable per benchmark.
+* **Dirty set** — the *guest kernel's* pages dirty too (socket buffers,
+  page cache, slab); Table III shows MC's dirty counts above NiLiCon's
+  for most benchmarks.  Modeled as a configurable extra page count per
+  epoch, scaled by how busy the epoch was.
+* **Disk** — per the paper's setup, MC runs with a local disk and no disk
+  state replication (it only supports NFS, which would be unfairly slow).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.container.runtime import Container, ContainerRuntime
+from repro.container.spec import ContainerSpec
+from repro.metrics.collector import EpochRecord, RunMetrics
+from repro.net.world import World
+from repro.replication.netbuffer import NetworkBuffer
+from repro.sim.engine import Interrupt, Process
+
+__all__ = ["McDeployment"]
+
+PAGE = 4096
+
+
+class McDeployment:
+    """A container inside a VM protected by micro-checkpointing."""
+
+    def __init__(
+        self,
+        world: World,
+        spec: ContainerSpec,
+        epoch_execute_us: int = 30_000,
+        cpu_tax: float = 0.02,
+        guest_kernel_dirty_per_epoch: int = 150,
+    ) -> None:
+        self.world = world
+        self.spec = spec
+        self.epoch_execute_us = epoch_execute_us
+        self.guest_kernel_dirty_per_epoch = guest_kernel_dirty_per_epoch
+        self.metrics = RunMetrics()
+
+        for _mountpoint, fs_name in spec.mounts:
+            if fs_name not in world.primary.kernel.filesystems:
+                world.primary.kernel.add_block_device(f"vm-{fs_name}")
+                world.primary.kernel.mkfs(f"vm-{fs_name}", fs_name)
+        self.runtime = ContainerRuntime(world.primary.kernel, world.bridge)
+        self.container: Container = self.runtime.create(spec)
+        self.container.cpu_tax = cpu_tax
+        # VM-level dirty tracking: write-protection faults (VM exits).
+        for process in self.container.processes:
+            process.mm.start_tracking("wrprotect")
+
+        self.netbuffer = NetworkBuffer(
+            world.engine, world.costs, self.container, input_block="plug"
+        )
+        self.endpoint = world.primary.endpoint("pair")
+        self.backup_endpoint = world.backup.endpoint("pair")
+        self.epoch = 0
+        self._stopped = False
+        self._processes: list[Process] = []
+        self._activity_prev_cpu = 0
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self.metrics.started_at_us = self.world.engine.now
+        self._processes.append(
+            self.world.engine.process(self._epoch_loop(), name="mc-epoch-loop")
+        )
+        self._processes.append(
+            self.world.engine.process(self._backup_loop(), name="mc-backup")
+        )
+        self._processes.append(
+            self.world.engine.process(self._ack_loop(), name="mc-ack-loop")
+        )
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.metrics.ended_at_us = self.world.engine.now
+
+    @property
+    def failed_over(self) -> bool:
+        return False
+
+    # ------------------------------------------------------------------ #
+    def _guest_kernel_dirty(self) -> int:
+        """Guest-kernel dirty pages this epoch, scaled by CPU activity."""
+        cpu = self.container.cgroup.read_cpuacct()
+        busy_us = cpu - self._activity_prev_cpu
+        self._activity_prev_cpu = cpu
+        busy_frac = min(1.0, busy_us / self.epoch_execute_us)
+        # Even an idle guest kernel dirties some pages (timers, slab).
+        return int(self.guest_kernel_dirty_per_epoch * max(0.15, busy_frac))
+
+    def _epoch_loop(self) -> Generator[Any, Any, None]:
+        costs = self.world.costs
+        engine = self.world.engine
+        try:
+            while not self._stopped:
+                yield engine.timeout(self.epoch_execute_us)
+                if self._stopped:
+                    return
+                epoch = self.epoch
+                stop_start = engine.now
+                # Pause the VM: instantaneous for packets too (the VCPUs
+                # stop; virtio queues hold arrivals) — model via the plug.
+                yield from self.container.freeze(poll=True)
+                self.container.veth.ingress_plug.plug()
+
+                app_dirty = 0
+                for process in self.container.processes:
+                    app_dirty += len(process.mm.dirty_pages())
+                    process.mm.clear_refs()
+                dirty = app_dirty + self._guest_kernel_dirty()
+
+                # Hypervisor-side copy of dirty pages + device state.
+                yield engine.timeout(
+                    costs.mc_pause_fixed + (dirty * costs.mc_copy_per_page_ns) // 1000
+                )
+                self.netbuffer.insert_epoch_barrier(epoch)
+                self.container.veth.ingress_plug.unplug()
+                yield from self.container.thaw()
+                stop_us = engine.now - stop_start
+
+                state_bytes = dirty * PAGE + 16_384  # pages + device state
+                self.endpoint.send(
+                    {"kind": "state", "epoch": epoch, "pages": dirty},
+                    size_bytes=state_bytes,
+                    chunks=max(1, dirty // 64),
+                )
+                self.metrics.record_epoch(
+                    EpochRecord(
+                        epoch=epoch,
+                        at_us=engine.now,
+                        stop_us=stop_us,
+                        dirty_pages=dirty,
+                        state_bytes=state_bytes,
+                    )
+                )
+                self.epoch += 1
+        except Interrupt:
+            return
+
+    def _backup_loop(self) -> Generator[Any, Any, None]:
+        """The MC backup: buffer the state, acknowledge receipt."""
+        costs = self.world.costs
+        while not self._stopped:
+            try:
+                delivery = yield self.backup_endpoint.recv()
+            except Interrupt:
+                return
+            message = delivery.message
+            if message.get("kind") != "state":
+                continue
+            cost = delivery.chunks * costs.backup_read_chunk
+            self.metrics.charge_backup_cpu(cost)
+            yield self.world.engine.timeout(cost)
+            self.backup_endpoint.send(
+                {"kind": "ack", "epoch": message["epoch"]}, size_bytes=64
+            )
+
+    def _ack_loop(self) -> Generator[Any, Any, None]:
+        while not self._stopped:
+            try:
+                delivery = yield self.endpoint.recv()
+            except Interrupt:
+                return
+            message = delivery.message
+            if message.get("kind") != "ack":
+                continue
+            epoch = message["epoch"]
+            self.netbuffer.acked_epoch = max(self.netbuffer.acked_epoch, epoch)
+            released = self.netbuffer.release_epoch(epoch)
+            self.metrics.packets_released += released

@@ -1,0 +1,40 @@
+"""Stock deployment: the container with no replication.
+
+Provides the same surface as :class:`ReplicatedDeployment` so experiment
+runners can swap modes; every replication-related operation is a no-op.
+"""
+
+from __future__ import annotations
+
+from repro.container.runtime import Container, ContainerRuntime
+from repro.container.spec import ContainerSpec
+from repro.metrics.collector import RunMetrics
+from repro.net.world import World
+
+__all__ = ["StockDeployment"]
+
+
+class StockDeployment:
+    """An unreplicated container on the primary host."""
+
+    def __init__(self, world: World, spec: ContainerSpec) -> None:
+        self.world = world
+        self.spec = spec
+        self.metrics = RunMetrics()
+        # Create any filesystems the spec mounts (local disk, no DRBD).
+        for _mountpoint, fs_name in spec.mounts:
+            if fs_name not in world.primary.kernel.filesystems:
+                world.primary.kernel.add_block_device(f"local-{fs_name}")
+                world.primary.kernel.mkfs(f"local-{fs_name}", fs_name)
+        self.runtime = ContainerRuntime(world.primary.kernel, world.bridge)
+        self.container: Container = self.runtime.create(spec)
+
+    def start(self) -> None:
+        self.metrics.started_at_us = self.world.engine.now
+
+    def stop(self) -> None:
+        self.metrics.ended_at_us = self.world.engine.now
+
+    @property
+    def failed_over(self) -> bool:
+        return False

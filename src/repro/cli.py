@@ -1,0 +1,308 @@
+"""Command-line interface: run benchmarks and regenerate paper artifacts.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro bench redis --mode nilicon --duration-ms 2000
+    python -m repro table 1            # Table I ... Table VI
+    python -m repro fig3
+    python -m repro validate --runs 5 --workload redis --workload disk-rw
+    python -m repro scalability threads
+    python -m repro failover redis     # one instrumented failover, verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.sim.units import ms, sec
+
+__all__ = ["main"]
+
+
+def _cmd_list_workloads(_args) -> int:
+    from repro.workloads.catalog import PAPER_BENCHMARKS, WORKLOADS
+
+    print("Workloads (paper benchmarks marked *):")
+    for name in sorted(WORKLOADS):
+        factory = WORKLOADS[name]
+        star = "*" if name in PAPER_BENCHMARKS else " "
+        doc = (factory.__doc__ or "").strip().splitlines()[0] if factory.__doc__ else ""
+        print(f"  {star} {name:<14} {doc}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.common import (
+        run_compute_benchmark,
+        run_server_benchmark,
+    )
+    from repro.experiments.suite import COMPUTE_BENCHMARKS, MC_PARAMS
+
+    mc_kwargs = MC_PARAMS.get(args.workload) if args.mode == "mc" else None
+    if args.workload in COMPUTE_BENCHMARKS:
+        result = run_compute_benchmark(
+            args.workload, args.mode, seed=args.seed, mc_kwargs=mc_kwargs
+        )
+        print(f"{args.workload} [{args.mode}] completion: "
+              f"{result.completion_us / 1000:.1f} ms")
+    else:
+        result = run_server_benchmark(
+            args.workload, args.mode, duration_us=ms(args.duration_ms),
+            seed=args.seed, mc_kwargs=mc_kwargs,
+        )
+        print(f"{args.workload} [{args.mode}] throughput: "
+              f"{result.throughput:,.1f} ops/s "
+              f"({result.stats.completed} responses, "
+              f"{result.stats.errors} errors, "
+              f"{len(result.stats.validation_failures)} validation failures)")
+    metrics = result.metrics
+    if metrics.n_epochs > 1:
+        print(f"  epochs: {metrics.n_epochs}  avg stop: "
+              f"{metrics.avg_stop_us() / 1000:.2f} ms  avg dirty pages: "
+              f"{metrics.avg_dirty_pages():.0f}  state P50: "
+              f"{metrics.state_bytes_percentile(50) / 1e6:.2f} MB")
+        print(f"  stopped fraction: {result.stopped_fraction:.1%}  "
+              f"backup core: {metrics.backup_core_utilization():.3f}")
+    return 0
+
+
+def _cmd_table(args) -> int:
+    n = args.number
+    if n == 1:
+        from repro.experiments.table1 import format_rows, run_table1
+        print(format_rows(run_table1(seed=args.seed)))
+    elif n == 2:
+        from repro.experiments.table2 import format_rows, run_table2
+        print(format_rows(run_table2(seed=args.seed)))
+    elif n == 3:
+        from repro.experiments.table3 import format_rows, run_table3
+        print(format_rows(run_table3(seed=args.seed)))
+    elif n == 4:
+        from repro.experiments.table4 import format_rows, run_table4
+        print(format_rows(run_table4(seed=args.seed)))
+    elif n == 5:
+        from repro.experiments.table5 import format_rows, run_table5
+        print(format_rows(run_table5(seed=args.seed)))
+    elif n == 6:
+        from repro.experiments.table6 import format_rows, run_table6
+        print(format_rows(run_table6(seed=args.seed)))
+    else:
+        print(f"no such table: {n} (have 1-6)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_fig3(args) -> int:
+    from repro.experiments.fig3 import format_rows, run_fig3
+
+    print(format_rows(run_fig3(seed=args.seed)))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.validation import (
+        VALIDATION_WORKLOADS,
+        format_rows,
+        run_validation_campaign,
+    )
+
+    workloads = tuple(args.workload) if args.workload else VALIDATION_WORKLOADS
+    results = run_validation_campaign(
+        workloads=workloads, runs_per_workload=args.runs, base_seed=args.seed
+    )
+    print(format_rows(results))
+    failed = [r for r in results if r.recovery_rate < 1.0]
+    for campaign in failed:
+        for failure in campaign.failures[:5]:
+            print(f"  {campaign.workload}: {failure}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_scalability(args) -> int:
+    from repro.experiments.scalability import (
+        format_sweep,
+        run_client_sweep,
+        run_process_sweep,
+        run_thread_sweep,
+    )
+
+    if args.dimension == "threads":
+        print(format_sweep(run_thread_sweep(seed=args.seed), "threads"))
+    elif args.dimension == "clients":
+        print(format_sweep(run_client_sweep(seed=args.seed), "clients"))
+    else:
+        print(format_sweep(run_process_sweep(seed=args.seed), "processes"))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Print the protocol event timeline of a short replicated run."""
+    from repro.experiments.common import build_deployment
+    from repro.net import World
+    from repro.sim.trace import install_tracer
+    from repro.workloads.base import ClientStats, ServerWorkload
+    from repro.workloads.catalog import make_workload
+
+    world = World(seed=args.seed)
+    tracer = install_tracer(world.engine)
+    workload = make_workload(args.workload)
+    deployment = build_deployment(
+        world, workload.spec(), "nilicon",
+        on_failover=lambda container: workload.attach(world, container),
+    )
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+    if isinstance(workload, ServerWorkload):
+        stats = ClientStats()
+
+        def launch():
+            yield world.engine.timeout(ms(300))
+            workload.start_clients(world, stats, run_until_us=ms(args.run_ms))
+
+        world.engine.process(launch())
+    if args.failover:
+        # Inject only after the initial full checkpoint has committed and
+        # armed the detector (otherwise there is nothing to recover from).
+        inject_at = max(ms(args.run_ms) // 2, ms(500))
+
+        def inject():
+            yield world.engine.timeout(inject_at)
+            deployment.inject_fail_stop()
+
+        world.engine.process(inject())
+    world.run(until=ms(args.run_ms) + (sec(3) if args.failover else 0))
+    deployment.stop()
+    print(tracer.timeline(args.category))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Regenerate the full evaluation as one markdown report."""
+    from repro.experiments.fig3 import rows_from_suite as fig3_rows
+    from repro.experiments.suite import run_suite
+    from repro.experiments.table3 import rows_from_suite as t3_rows
+    from repro.experiments.table4 import PERCENTILES
+    from repro.experiments.table4 import rows_from_suite as t4_rows
+    from repro.experiments.table5 import rows_from_suite as t5_rows
+    from repro.metrics.report import fig3_ascii, markdown_table
+
+    print("# NiLiCon reproduction — evaluation report\n")
+    print("Running the seven-benchmark suite (stock / NiLiCon / MC)...\n")
+    suite = run_suite(duration_us=ms(args.duration_ms), seed=args.seed)
+
+    print("## Figure 3 — performance overhead\n")
+    rows = fig3_rows(suite)
+    print("```\n" + fig3_ascii(rows) + "\n```\n")
+    print(markdown_table(
+        ["benchmark", "MC %", "MC paper", "NiLiCon %", "NiLiCon paper"],
+        [[r["benchmark"], r["mc_overhead_pct"], r["mc_paper_pct"],
+          r["nilicon_overhead_pct"], r["nilicon_paper_pct"]] for r in rows],
+    ))
+
+    print("\n## Table III — stop time & dirty pages per epoch\n")
+    rows = t3_rows(suite)
+    print(markdown_table(
+        ["benchmark", "MC stop ms", "NiLiCon stop ms", "MC dpages", "NiLiCon dpages"],
+        [[r["benchmark"], r["mc_stop_ms"], r["nilicon_stop_ms"],
+          int(r["mc_dpages"]), int(r["nilicon_dpages"])] for r in rows],
+    ))
+
+    print("\n## Table IV — stop/state percentiles (NiLiCon)\n")
+    rows = t4_rows(suite)
+    print(markdown_table(
+        ["benchmark"] + [f"stop P{p} ms" for p in PERCENTILES]
+        + [f"state P{p} MB" for p in PERCENTILES],
+        [[r["benchmark"], *r["stop_ms"], *r["state_mb"]] for r in rows],
+    ))
+
+    print("\n## Table V — core utilization\n")
+    rows = t5_rows(suite)
+    print(markdown_table(
+        ["benchmark", "active", "backup"],
+        [[r["benchmark"], r["active_cores"], r["backup_cores"]] for r in rows],
+    ))
+    return 0
+
+
+def _cmd_failover(args) -> int:
+    from repro.experiments.validation import run_one_injection
+
+    failures = run_one_injection(args.workload, seed=args.seed, run_us=sec(args.run_s))
+    if failures:
+        print(f"{args.workload}: recovery FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"{args.workload}: fail-stop injected, detected and recovered; "
+          "all validation checks passed.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NiLiCon reproduction: benchmarks and paper artifacts.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list the workload catalog")
+
+    bench = sub.add_parser("bench", help="run one benchmark under one mode")
+    bench.add_argument("workload")
+    bench.add_argument("--mode", choices=("stock", "nilicon", "mc"), default="nilicon")
+    bench.add_argument("--duration-ms", type=int, default=2000)
+
+    table = sub.add_parser("table", help="regenerate a paper table (1-6)")
+    table.add_argument("number", type=int)
+
+    sub.add_parser("fig3", help="regenerate Figure 3 (overhead comparison)")
+
+    validate = sub.add_parser("validate", help="run the fault-injection campaign")
+    validate.add_argument("--runs", type=int, default=5)
+    validate.add_argument("--workload", action="append", default=None)
+
+    scal = sub.add_parser("scalability", help="run a SSVII-C sweep")
+    scal.add_argument("dimension", choices=("threads", "clients", "processes"))
+
+    failover = sub.add_parser("failover", help="one verbose fault injection")
+    failover.add_argument("workload")
+    failover.add_argument("--run-s", type=int, default=3)
+
+    report = sub.add_parser("report", help="full evaluation as a markdown report")
+    report.add_argument("--duration-ms", type=int, default=2000)
+
+    tr = sub.add_parser("trace", help="print the protocol event timeline")
+    tr.add_argument("workload", nargs="?", default="net")
+    tr.add_argument("--run-ms", type=int, default=400)
+    tr.add_argument("--failover", action="store_true")
+    tr.add_argument("--category", default=None,
+                    help="filter: epoch | backup | recovery")
+
+    return parser
+
+
+_COMMANDS = {
+    "list-workloads": _cmd_list_workloads,
+    "bench": _cmd_bench,
+    "table": _cmd_table,
+    "fig3": _cmd_fig3,
+    "validate": _cmd_validate,
+    "scalability": _cmd_scalability,
+    "failover": _cmd_failover,
+    "report": _cmd_report,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""runC-like container runtime over the simulated kernel.
+
+A container is a set of processes sharing namespaces (including a network
+namespace with its own TCP stack and a veth attached to the host bridge), a
+control group with ``cpuacct`` accounting, and mounted filesystems.  The
+runtime provides the freezer (virtual-signal pause/resume) that CRIU-style
+checkpointing depends on, and the execution gate through which workloads
+advance — which is what makes "the container is stopped" a real property of
+the simulation rather than an assumption.
+"""
+
+from repro.container.runtime import Container, ContainerRuntime
+from repro.container.spec import ContainerSpec, ProcessSpec
+
+__all__ = ["Container", "ContainerRuntime", "ContainerSpec", "ProcessSpec"]

@@ -1,0 +1,47 @@
+"""Container and process specifications.
+
+A spec is the static description the runtime materializes: how many
+processes/threads, how much mapped memory, which libraries (memory-mapped
+files — these drive the per-checkpoint ``stat`` storm of §V), which mounts,
+and the container's network identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ContainerSpec", "ProcessSpec"]
+
+
+@dataclass
+class ProcessSpec:
+    """One process to start in the container."""
+
+    comm: str
+    #: Worker threads in addition to the main thread are (n_threads - 1).
+    n_threads: int = 1
+    #: Size of the heap VMA in pages.
+    heap_pages: int = 4096
+    #: Number of distinct memory-mapped files (dynamic libraries etc.).
+    n_mapped_files: int = 40
+    #: Pages per mapped-file VMA.
+    pages_per_mapped_file: int = 8
+
+
+@dataclass
+class ContainerSpec:
+    """A container deployment description."""
+
+    name: str
+    ip: str
+    processes: list[ProcessSpec] = field(default_factory=list)
+    #: Mounts: (mountpoint, filesystem name on the host kernel).
+    mounts: list[tuple[str, str]] = field(default_factory=list)
+    #: cgroup attributes (cpu.shares etc.); checkpointed as container state.
+    cgroup_attributes: dict[str, int] = field(default_factory=dict)
+    #: Dedicated cores (paper: one core per worker thread/process).
+    n_cores: int = 4
+
+    @property
+    def total_threads(self) -> int:
+        return sum(p.n_threads for p in self.processes)

@@ -1,0 +1,36 @@
+"""CRIU: checkpoint/restore of containers (in userspace).
+
+This package reimplements, over the simulated kernel, the CRIU subset that
+NiLiCon builds on (paper §II-B), plus the NiLiCon modifications (§V-A/D):
+
+* :mod:`~repro.criu.config` — which interface generation each operation
+  uses (stock CRIU vs NiLiCon-optimized); the knobs of Table I.
+* :mod:`~repro.criu.images` — the checkpoint image: every state component a
+  container restore needs, with byte-accounting for transfer sizing.
+* :mod:`~repro.criu.collect` — state collectors: memory via parasite +
+  smaps/netlink + soft-dirty pagemap, threads, fd tables, sockets via
+  repair mode, the infrequently-modified container state, and the
+  filesystem cache via ``fgetfc`` or NAS flush.
+* :mod:`~repro.criu.pagestore` — the backup-side store of committed pages:
+  stock CRIU's linked list of checkpoint directories vs NiLiCon's
+  four-level radix tree.
+* :mod:`~repro.criu.checkpoint` — the checkpoint engine that drives the
+  collectors over a frozen container and emits an image.
+* :mod:`~repro.criu.restore` — the restore engine that rebuilds a container
+  from committed state on the backup host.
+"""
+
+from repro.criu.checkpoint import CheckpointEngine
+from repro.criu.config import CriuConfig
+from repro.criu.images import CheckpointImage
+from repro.criu.pagestore import LinkedListPageStore, RadixTreePageStore
+from repro.criu.restore import RestoreEngine
+
+__all__ = [
+    "CheckpointEngine",
+    "CheckpointImage",
+    "CriuConfig",
+    "LinkedListPageStore",
+    "RadixTreePageStore",
+    "RestoreEngine",
+]

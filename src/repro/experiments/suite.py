@@ -1,0 +1,81 @@
+"""Run the full seven-benchmark evaluation suite once, share the results.
+
+Figure 3 and Tables III, IV and V all derive from the same runs (the paper
+executed each benchmark and reported different views of the measurements).
+This module performs those runs once per process and caches them, so the
+benchmark harness regenerates every artifact without re-simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.common import (
+    RunResult,
+    run_compute_benchmark,
+    run_server_benchmark,
+)
+from repro.sim.units import sec
+
+__all__ = ["MC_PARAMS", "PAPER_BENCHMARKS", "SuiteResults", "run_suite"]
+
+PAPER_BENCHMARKS = (
+    "swaptions",
+    "streamcluster",
+    "redis",
+    "ssdb",
+    "node",
+    "lighttpd",
+    "djcms",
+)
+
+COMPUTE_BENCHMARKS = {"swaptions", "streamcluster"}
+
+#: Per-benchmark MC model parameters.
+#:
+#: ``cpu_tax`` is the per-slice virtualization tax (I/O exits, interrupt and
+#: timer virtualization, shadow-MMU churn) and ``guest_kernel_dirty_per_epoch``
+#: the guest-kernel page dirtying MC must also ship.  Both are calibrated
+#: against Fig. 3's MC bars and Table III's MC dirty counts: the split
+#: between write-protect fault cost and general tax is not identifiable from
+#: the paper's data, so the fault cost is fixed globally
+#: (``vm_exit_fault_ns``) and the residual lands in the tax.
+MC_PARAMS: dict[str, dict] = {
+    "swaptions": {"cpu_tax": 0.04, "guest_kernel_dirty_per_epoch": 170},
+    "streamcluster": {"cpu_tax": 0.20, "guest_kernel_dirty_per_epoch": 165},
+    "redis": {"cpu_tax": 1.1, "guest_kernel_dirty_per_epoch": 100},
+    "ssdb": {"cpu_tax": 1.9, "guest_kernel_dirty_per_epoch": 520},
+    "node": {"cpu_tax": 0.0, "guest_kernel_dirty_per_epoch": 1000},
+    "lighttpd": {"cpu_tax": 0.06, "guest_kernel_dirty_per_epoch": 1300},
+    "djcms": {"cpu_tax": 0.55, "guest_kernel_dirty_per_epoch": 100},
+}
+
+SuiteResults = dict[tuple[str, str], RunResult]
+
+_cache: dict[tuple, SuiteResults] = {}
+
+
+def run_suite(
+    modes: Iterable[str] = ("stock", "nilicon", "mc"),
+    benchmarks: Iterable[str] = PAPER_BENCHMARKS,
+    duration_us: int = sec(2),
+    seed: int = 1,
+) -> SuiteResults:
+    """Run (or fetch cached) results for every (benchmark, mode) pair."""
+    key = (tuple(modes), tuple(benchmarks), duration_us, seed)
+    if key in _cache:
+        return _cache[key]
+    results: SuiteResults = {}
+    for name in benchmarks:
+        for mode in modes:
+            mc_kwargs = MC_PARAMS.get(name) if mode == "mc" else None
+            if name in COMPUTE_BENCHMARKS:
+                results[(name, mode)] = run_compute_benchmark(
+                    name, mode, seed=seed, mc_kwargs=mc_kwargs
+                )
+            else:
+                results[(name, mode)] = run_server_benchmark(
+                    name, mode, duration_us=duration_us, seed=seed, mc_kwargs=mc_kwargs
+                )
+    _cache[key] = results
+    return results

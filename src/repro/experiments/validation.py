@@ -1,0 +1,175 @@
+"""§VII-A validation: the fault-injection recovery campaign.
+
+Paper methodology: every benchmark runs for at least 60 s; a fail-stop
+fault is injected at a random time within the middle 80% of the run
+(emulated by blocking all the primary's network traffic); recovery is
+successful when no validation errors are flagged and no TCP connection
+broke.  "Each benchmark is executed 50 times.  We find that in all the
+executions NiLiCon is able to detect and recover from the container
+failure with no broken network connections!"
+
+This reproduction runs the same campaign with seconds of *virtual* time
+per run.  Success criteria per workload class:
+
+* KV stores — every get matches the client's shadow map (read-your-acked-
+  writes across failover); no client errors.
+* Web/echo servers — every response matches the golden copy; no broken
+  connections.
+* disk-rw — the in-container validator flagged no mismatches.
+* compute — the final output pages equal a golden (stock) run's.
+
+Each run also audits the output-commit invariant log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import build_deployment
+from repro.net.world import World
+from repro.sim.units import ms, sec
+from repro.workloads.base import ClientStats, ComputeWorkload, ServerWorkload
+from repro.workloads.catalog import make_workload
+from repro.workloads.microbench import DiskRwWorkload
+from repro.workloads.parsec import ParsecWorkload
+
+__all__ = ["CampaignResult", "VALIDATION_WORKLOADS", "run_validation_campaign", "run_one_injection"]
+
+#: Workloads in the paper's campaign (7 benchmarks + 2 microbenchmarks).
+VALIDATION_WORKLOADS = (
+    "swaptions",
+    "streamcluster",
+    "redis",
+    "ssdb",
+    "node",
+    "lighttpd",
+    "djcms",
+    "disk-rw",
+    "net-echo",
+)
+
+
+@dataclass
+class CampaignResult:
+    workload: str
+    runs: int = 0
+    recovered: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def recovery_rate(self) -> float:
+        return self.recovered / self.runs if self.runs else 0.0
+
+
+def _golden_compute_signature(name: str, seed: int) -> dict:
+    world = World(seed=seed)
+    workload = make_workload(name)
+    deployment = build_deployment(world, workload.spec(), "stock")
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+    while not workload.is_complete(deployment.container):
+        world.run(until=world.now + ms(20))
+    return workload.result_signature(deployment.container)
+
+
+def run_one_injection(name: str, seed: int, run_us: int = sec(3)) -> list[str]:
+    """One fault-injection run; returns the list of failure descriptions."""
+    world = World(seed=seed)
+    workload = make_workload(name)
+    failures: list[str] = []
+
+    deployment = build_deployment(
+        world,
+        workload.spec(),
+        "nilicon",
+        on_failover=lambda container: workload.attach(world, container),
+    )
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+
+    stats = ClientStats()
+    if isinstance(workload, ServerWorkload):
+
+        def launch():
+            yield world.engine.timeout(ms(400))
+            workload.start_clients(world, stats, run_until_us=run_us)
+
+        world.engine.process(launch())
+
+    # Random injection in the middle 80% of the run.
+    frac = 0.1 + 0.8 * world.rng.stream("fault-injection").random()
+    inject_at = max(ms(500), int(run_us * frac))
+
+    def inject():
+        yield world.engine.timeout(inject_at)
+        deployment.inject_fail_stop()
+
+    world.engine.process(inject())
+
+    if isinstance(workload, ComputeWorkload):
+        deadline = sec(60)
+        while world.now < deadline:
+            world.run(until=min(deadline, world.now + ms(50)))
+            restored = deployment.restored_container
+            if restored is not None and workload.is_complete(restored):
+                break
+    else:
+        # Allow in-flight requests to complete after the failover.
+        world.run(until=run_us + sec(3))
+
+    if not deployment.failed_over:
+        failures.append("failure was never detected")
+        return failures
+    if deployment.restored_container is None:
+        failures.append("recovery did not produce a container")
+        return failures
+
+    failures.extend(deployment.audit_output_commit())
+
+    if isinstance(workload, ServerWorkload):
+        if stats.errors:
+            failures.append(f"{stats.errors} client connection errors")
+        failures.extend(stats.validation_failures[:5])
+        if stats.completed == 0:
+            failures.append("client completed no requests")
+    if isinstance(workload, DiskRwWorkload):
+        failures.extend(workload.errors[:5])
+        if workload.operations == 0:
+            failures.append("disk-rw made no progress")
+    if isinstance(workload, ParsecWorkload):
+        restored = deployment.restored_container
+        if not workload.is_complete(restored):
+            failures.append("compute workload did not finish after failover")
+        else:
+            golden = _golden_compute_signature(name, seed)
+            if workload.result_signature(restored) != golden:
+                failures.append("final output differs from golden copy")
+    return failures
+
+
+def run_validation_campaign(
+    workloads=VALIDATION_WORKLOADS, runs_per_workload: int = 50, base_seed: int = 100
+) -> list[CampaignResult]:
+    results = []
+    for name in workloads:
+        campaign = CampaignResult(workload=name)
+        for run in range(runs_per_workload):
+            failures = run_one_injection(name, seed=base_seed + run)
+            campaign.runs += 1
+            if failures:
+                campaign.failures.extend(f"run {run}: {f}" for f in failures)
+            else:
+                campaign.recovered += 1
+        results.append(campaign)
+    return results
+
+
+def format_rows(results: list[CampaignResult]) -> str:
+    lines = [f"{'workload':<15}{'runs':>6}{'recovered':>11}{'rate':>8}"]
+    for r in results:
+        lines.append(
+            f"{r.workload:<15}{r.runs:>6}{r.recovered:>11}{100 * r.recovery_rate:>7.0f}%"
+        )
+    return "\n".join(lines)

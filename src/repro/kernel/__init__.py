@@ -1,0 +1,36 @@
+"""Simulated Linux kernel substrate.
+
+This package models the slice of Linux that NiLiCon's design manipulates, at
+the level of abstraction CRIU sees it:
+
+* :mod:`~repro.kernel.costmodel` — latency constants for every kernel
+  operation, each calibrated against a microcost the paper reports.
+* :mod:`~repro.kernel.mm` — address spaces, VMAs, page-granularity memory
+  with per-page soft-dirty tracking (``clear_refs`` / ``pagemap``).
+* :mod:`~repro.kernel.task` — tasks (threads), processes, fd tables,
+  register/signal state, the freezer.
+* :mod:`~repro.kernel.fs` — a VFS with inodes, directories, a page cache and
+  inode cache carrying the paper's Dirty-but-Not-Checkpointed (DNC) state,
+  and the ``fgetfc`` system call.
+* :mod:`~repro.kernel.blockdev` — virtual disks with write hooks (the DRBD
+  attachment point).
+* :mod:`~repro.kernel.tcp` — a TCP implementation with sequence/ack numbers,
+  send/receive queues, RST semantics and socket *repair mode*.
+* :mod:`~repro.kernel.netdev` — NICs, a learning bridge, and the
+  ``sch_plug``-style plug qdisc used for output buffering / input blocking.
+* :mod:`~repro.kernel.namespaces` / :mod:`~repro.kernel.cgroup` — container
+  isolation state and ``cpuacct`` accounting.
+* :mod:`~repro.kernel.ftrace` — the hook registry used by NiLiCon's
+  infrequently-modified-state change detector.
+* :mod:`~repro.kernel.parasite` — the ptrace/parasite channel (pipe or
+  shared-memory transport).
+* :mod:`~repro.kernel.procfs` — the slow text-based ``/proc`` interfaces and
+  their faster netlink replacements, with their respective costs.
+* :mod:`~repro.kernel.kernel` — the per-host composition of all of the above.
+"""
+
+from repro.kernel.costmodel import CostModel
+from repro.kernel.errors import KernelError
+from repro.kernel.kernel import Kernel
+
+__all__ = ["CostModel", "Kernel", "KernelError"]

@@ -1,0 +1,47 @@
+"""Control groups: cpuacct accounting and freezer state.
+
+NiLiCon's failure detector reads ``cpuacct.usage`` from the container's
+control group every 30 ms and sends a heartbeat only while usage increases
+(§IV).  The container's keep-alive process exists precisely to keep this
+counter moving when the workload is idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Cgroup"]
+
+
+@dataclass
+class Cgroup:
+    """One container's control group."""
+
+    name: str
+    #: Accumulated CPU usage, microseconds (``cpuacct.usage`` is ns in
+    #: Linux; the unit is irrelevant as only increases are observed).
+    cpuacct_usage_us: int = 0
+    #: Freezer state: "THAWED" or "FROZEN".
+    freezer_state: str = "THAWED"
+    #: Config knobs captured at checkpoint (cpu shares, memory limit...).
+    attributes: dict[str, int] = field(default_factory=dict)
+    #: Bumped on configuration changes (not on cpuacct ticks).
+    version: int = 1
+
+    def charge_cpu(self, us: int) -> None:
+        self.cpuacct_usage_us += us
+
+    def read_cpuacct(self) -> int:
+        """The detector's read of ``cpuacct.usage``."""
+        return self.cpuacct_usage_us
+
+    def set_attribute(self, key: str, value: int) -> None:
+        self.attributes[key] = value
+        self.version += 1
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "version": self.version,
+        }

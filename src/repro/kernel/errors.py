@@ -1,0 +1,40 @@
+"""Exception hierarchy for the simulated kernel."""
+
+from __future__ import annotations
+
+__all__ = [
+    "AddressError",
+    "ConnectionReset",
+    "FileSystemError",
+    "KernelError",
+    "NetworkError",
+    "SocketError",
+]
+
+
+class KernelError(Exception):
+    """Base class for simulated-kernel failures."""
+
+
+class AddressError(KernelError):
+    """Access to an unmapped address or malformed VMA operation."""
+
+
+class FileSystemError(KernelError):
+    """VFS misuse: missing path, bad fd, write to read-only file, ..."""
+
+
+class NetworkError(KernelError):
+    """Network stack misuse or unreachable destination."""
+
+
+class SocketError(NetworkError):
+    """Socket-level error (bad state transition, repair-mode misuse)."""
+
+
+class ConnectionReset(NetworkError):
+    """The peer sent RST; the connection is broken.
+
+    This is the client-visible failure NiLiCon's input blocking during
+    recovery exists to prevent (paper §III).
+    """

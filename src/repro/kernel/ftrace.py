@@ -1,0 +1,49 @@
+"""ftrace-style kernel function hooks.
+
+NiLiCon's state-caching optimization (§V-B) loads a kernel module that uses
+ftrace to hook the kernel functions which can modify infrequently-changing
+container state (mount, unshare, cgroup attribute writes, device file
+creation, mmap of files).  Each hook runs the real function, inspects
+arguments/return value, and signals the primary agent if container state may
+have changed.
+
+Here, kernel mutation paths call :meth:`FtraceRegistry.trace` with the
+function name; registered hooks receive the call.  The per-call overhead is
+the (negligible) :attr:`CostModel.ftrace_hook_overhead`, accumulated for
+metrics rather than charged as events — matching the paper's
+"Ftrace has negligible overhead".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+__all__ = ["FtraceRegistry"]
+
+Hook = Callable[[str, tuple], None]
+
+
+class FtraceRegistry:
+    """Registry of hook functions keyed by kernel function name."""
+
+    def __init__(self) -> None:
+        self._hooks: dict[str, list[Hook]] = defaultdict(list)
+        #: Lifetime count of traced calls, per function.
+        self.call_counts: dict[str, int] = defaultdict(int)
+
+    def register(self, fn_name: str, hook: Hook) -> None:
+        self._hooks[fn_name].append(hook)
+
+    def unregister(self, fn_name: str, hook: Hook) -> None:
+        self._hooks[fn_name].remove(hook)
+
+    def trace(self, fn_name: str, *args: Any) -> None:
+        """Invoked by kernel mutation paths after the real operation."""
+        self.call_counts[fn_name] += 1
+        for hook in self._hooks.get(fn_name, ()):
+            hook(fn_name, args)
+
+    @property
+    def hooked_functions(self) -> list[str]:
+        return sorted(name for name, hooks in self._hooks.items() if hooks)

@@ -1,0 +1,239 @@
+"""Virtual memory: address spaces, VMAs, pages, soft-dirty tracking.
+
+The memory model is page-granular.  A page's *content* is an opaque bytes
+token written by the workload (not a full 4 KiB buffer — copying real 4 KiB
+buffers for millions of simulated page writes would make runs intractable,
+and checkpoint correctness only needs content identity, which tokens give
+exactly).  The page **size** used for all byte-volume accounting is
+:data:`~repro.kernel.costmodel.PAGE_SIZE`.
+
+Dirty tracking supports the two mechanisms the paper contrasts:
+
+* ``soft_dirty`` — Linux soft-dirty PTEs: the kernel sets a bit on the first
+  write after ``clear_refs``; CRIU reads the bits back from ``pagemap``.
+  The first write per page per tracking period incurs a cheap minor fault.
+* ``wrprotect`` — hypervisor-style write protection (Remus/MC): the first
+  write per page per epoch triggers a VM exit + entry, an order of magnitude
+  more expensive.  MC uses this; the cost difference is the main reason
+  NiLiCon's *runtime* overhead is lower (paper §VII-C).
+
+Both report the same dirty sets; they differ only in the per-fault cost that
+:class:`AddressSpace` accumulates in :attr:`AddressSpace.pending_fault_us`,
+which the workload driver charges as simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+from repro.kernel.costmodel import PAGE_SIZE, CostModel
+from repro.kernel.errors import AddressError
+
+__all__ = ["AddressSpace", "Vma", "VmaKind", "PAGE_SIZE"]
+
+VmaKind = Literal["anon", "file", "shared", "stack", "heap", "vdso"]
+
+
+@dataclass
+class Vma:
+    """One virtual memory area, as CRIU sees it in smaps/task-diag.
+
+    ``start`` is a page index (not a byte address); the VMA covers pages
+    ``[start, start + n_pages)``.
+    """
+
+    start: int
+    n_pages: int
+    prot: str = "rw-"
+    kind: VmaKind = "anon"
+    #: Path of the backing file for file-backed VMAs (dynamic libraries,
+    #: mmapped data files); ``None`` for anonymous memory.
+    file_path: str | None = None
+    file_offset: int = 0
+    name: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.start + self.n_pages
+
+    def contains(self, page_idx: int) -> bool:
+        return self.start <= page_idx < self.end
+
+    def overlaps(self, other: "Vma") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def describe(self) -> dict:
+        """Plain-dict form used in checkpoint images."""
+        return {
+            "start": self.start,
+            "n_pages": self.n_pages,
+            "prot": self.prot,
+            "kind": self.kind,
+            "file_path": self.file_path,
+            "file_offset": self.file_offset,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict) -> "Vma":
+        return cls(**desc)
+
+
+@dataclass
+class _TrackingState:
+    """Dirty-tracking bookkeeping for one address space."""
+
+    enabled: bool = False
+    mode: Literal["soft_dirty", "wrprotect"] = "soft_dirty"
+    dirty: set[int] = field(default_factory=set)
+    #: Number of first-write faults since tracking (re)started.
+    faults: int = 0
+
+
+class AddressSpace:
+    """The memory of one process (or one whole VM for the MC baseline)."""
+
+    def __init__(self, costs: CostModel, name: str = "mm") -> None:
+        self.costs = costs
+        self.name = name
+        self.vmas: list[Vma] = []
+        #: Resident pages: page index -> content token.
+        self.pages: dict[int, bytes] = {}
+        self._tracking = _TrackingState()
+        #: Nanoseconds of fault overhead accrued but not yet charged as
+        #: simulated time; the workload driver drains this (see module doc).
+        self.pending_fault_ns: int = 0
+        #: Lifetime fault counter (metrics).
+        self.total_faults: int = 0
+
+    # -- mapping ----------------------------------------------------------
+    def mmap(self, vma: Vma) -> Vma:
+        """Map a new VMA; rejects overlap with an existing one."""
+        for existing in self.vmas:
+            if existing.overlaps(vma):
+                raise AddressError(
+                    f"{self.name}: VMA [{vma.start},{vma.end}) overlaps "
+                    f"[{existing.start},{existing.end})"
+                )
+        self.vmas.append(vma)
+        self.vmas.sort(key=lambda v: v.start)
+        return vma
+
+    def munmap(self, vma: Vma) -> None:
+        """Unmap *vma* and drop its resident pages."""
+        try:
+            self.vmas.remove(vma)
+        except ValueError:
+            raise AddressError(f"{self.name}: munmap of unmapped VMA") from None
+        for idx in range(vma.start, vma.end):
+            self.pages.pop(idx, None)
+            self._tracking.dirty.discard(idx)
+
+    def find_vma(self, page_idx: int) -> Vma:
+        for vma in self.vmas:
+            if vma.contains(page_idx):
+                return vma
+        raise AddressError(f"{self.name}: page {page_idx} is not mapped")
+
+    @property
+    def mapped_files(self) -> list[str]:
+        """Paths of distinct file-backed mappings (stat'ed at checkpoint)."""
+        seen: dict[str, None] = {}
+        for vma in self.vmas:
+            if vma.file_path is not None:
+                seen.setdefault(vma.file_path, None)
+        return list(seen)
+
+    # -- access -----------------------------------------------------------
+    def write(self, page_idx: int, token: bytes) -> None:
+        """Write *token* into a page, faulting for dirty tracking."""
+        self.find_vma(page_idx)  # validates the mapping
+        tracking = self._tracking
+        if tracking.enabled and page_idx not in tracking.dirty:
+            tracking.dirty.add(page_idx)
+            tracking.faults += 1
+            self.total_faults += 1
+            if tracking.mode == "soft_dirty":
+                self.pending_fault_ns += self.costs.soft_dirty_fault_ns
+            else:
+                self.pending_fault_ns += self.costs.vm_exit_fault_ns
+        self.pages[page_idx] = token
+
+    def write_range(self, start: int, tokens: Iterable[bytes]) -> int:
+        """Write consecutive pages starting at *start*; returns pages written."""
+        count = 0
+        for offset, token in enumerate(tokens):
+            self.write(start + offset, token)
+            count += 1
+        return count
+
+    def read(self, page_idx: int) -> bytes:
+        self.find_vma(page_idx)
+        try:
+            return self.pages[page_idx]
+        except KeyError:
+            # Untouched page: reads as zeros (demand-zero semantics).
+            return b""
+
+    def drain_fault_time(self) -> int:
+        """Return accrued fault time in whole microseconds (charged by the
+        caller as simulated time); the sub-microsecond remainder carries
+        over so no fault cost is ever lost to rounding."""
+        accrued_us, self.pending_fault_ns = divmod(self.pending_fault_ns, 1000)
+        return accrued_us
+
+    # -- dirty tracking (clear_refs / pagemap) -----------------------------
+    def start_tracking(self, mode: Literal["soft_dirty", "wrprotect"] = "soft_dirty") -> None:
+        """Begin dirty tracking (the first ``clear_refs`` write)."""
+        self._tracking = _TrackingState(enabled=True, mode=mode)
+
+    def clear_refs(self) -> None:
+        """Reset dirty bits; every page write-faults again on next touch."""
+        if not self._tracking.enabled:
+            raise AddressError(f"{self.name}: clear_refs before start_tracking")
+        self._tracking.dirty.clear()
+        self._tracking.faults = 0
+
+    @property
+    def tracking_enabled(self) -> bool:
+        return self._tracking.enabled
+
+    @property
+    def tracking_mode(self) -> str:
+        return self._tracking.mode
+
+    def dirty_pages(self) -> set[int]:
+        """The pagemap soft-dirty view: pages written since clear_refs."""
+        if not self._tracking.enabled:
+            raise AddressError(f"{self.name}: pagemap read before start_tracking")
+        return set(self._tracking.dirty)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self.pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self.pages) * PAGE_SIZE
+
+    # -- checkpoint support --------------------------------------------------
+    def snapshot_pages(self, indices: Iterable[int]) -> dict[int, bytes]:
+        """Copy the content tokens of *indices* (missing pages read as b'')."""
+        return {idx: self.pages.get(idx, b"") for idx in indices}
+
+    def full_snapshot(self) -> dict[int, bytes]:
+        """All resident page contents (used for full checkpoints/oracles)."""
+        return dict(self.pages)
+
+    def restore_pages(self, contents: dict[int, bytes]) -> None:
+        """Overwrite page contents during restore (no fault accounting)."""
+        for idx, token in contents.items():
+            self.find_vma(idx)
+            if token == b"":
+                self.pages.pop(idx, None)
+            else:
+                self.pages[idx] = token
+
+    def describe_vmas(self) -> list[dict]:
+        return [vma.describe() for vma in self.vmas]

@@ -1,0 +1,92 @@
+"""The ptrace-injected parasite and its transports.
+
+Parts of process state can only be obtained *from within* the checkpointed
+process: timers, signal masks, register state and memory contents (paper
+§II-B).  CRIU injects a parasite code segment via ptrace; the parasite
+executes requests on behalf of the CRIU process.
+
+Two data transports are modeled, matching the paper's optimization §V-D(3):
+
+* ``pipe`` — stock CRIU: dirty pages flow through a pipe, costing multiple
+  system calls per page.
+* ``shm`` — NiLiCon: a shared-memory region between parasite and primary
+  agent; pages are bulk-copied.
+
+All methods are generator coroutines that charge simulated time and return
+the collected state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Literal
+
+from repro.kernel.costmodel import CostModel
+from repro.kernel.errors import KernelError
+from repro.kernel.task import Process, TaskState
+from repro.sim.engine import Engine
+
+__all__ = ["ParasiteChannel"]
+
+Transport = Literal["pipe", "shm"]
+
+
+class ParasiteChannel:
+    """A parasite injected into one (frozen) process."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        costs: CostModel,
+        process: Process,
+        transport: Transport = "shm",
+    ) -> None:
+        self.engine = engine
+        self.costs = costs
+        self.process = process
+        self.transport: Transport = transport
+        self.injected = False
+
+    def _charge(self, us: int):
+        return self.engine.timeout(us)
+
+    def inject(self) -> Generator[Any, Any, None]:
+        """Map the parasite code segment into the victim (ptrace dance)."""
+        if any(t.state is not TaskState.FROZEN for t in self.process.tasks):
+            raise KernelError(
+                f"parasite injection into non-frozen process {self.process.comm}"
+            )
+        yield self._charge(self.costs.parasite_roundtrip)
+        self.injected = True
+
+    def _require_injected(self) -> None:
+        if not self.injected:
+            raise KernelError("parasite not injected")
+
+    def collect_thread_states(self) -> Generator[Any, Any, list[dict]]:
+        """Registers, signal masks, timers, sched policy for every thread.
+
+        Cost follows the paper's scalability measurement (~124 us/thread).
+        """
+        self._require_injected()
+        yield self._charge(self.costs.thread_collection(self.process.n_threads))
+        return [task.describe() for task in self.process.tasks]
+
+    def read_pages(
+        self, indices: Iterable[int]
+    ) -> Generator[Any, Any, dict[int, bytes]]:
+        """Copy page contents out of the victim via the configured transport."""
+        self._require_injected()
+        idx_list = list(indices)
+        per_page = (
+            self.costs.parasite_pipe_per_page
+            if self.transport == "pipe"
+            else self.costs.parasite_shm_per_page
+        )
+        yield self._charge(self.costs.parasite_roundtrip + len(idx_list) * per_page)
+        return self.process.mm.snapshot_pages(idx_list)
+
+    def cure(self) -> Generator[Any, Any, None]:
+        """Remove the parasite (restore the victim's original code)."""
+        self._require_injected()
+        yield self._charge(self.costs.parasite_roundtrip)
+        self.injected = False

@@ -1,0 +1,13 @@
+"""Measurement infrastructure for the evaluation experiments.
+
+:class:`~repro.metrics.collector.RunMetrics` accumulates the per-epoch
+series the paper reports (stop time, dirty pages, transferred state size),
+agent CPU time for the utilization table, and the recovery-latency
+breakdown.  :mod:`~repro.metrics.report` renders the tables/figures in the
+paper's shapes.
+"""
+
+from repro.metrics.collector import EpochRecord, RecoveryBreakdown, RunMetrics
+from repro.metrics.stats import percentile
+
+__all__ = ["EpochRecord", "RecoveryBreakdown", "RunMetrics", "percentile"]

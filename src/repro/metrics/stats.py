@@ -1,0 +1,34 @@
+"""Small statistics helpers (percentiles, means) used by reports.
+
+numpy is available, but these run on short lists in hot test paths where a
+dependency-free implementation is simpler and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["mean", "percentile"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (the convention Table IV implies).
+
+    ``p`` in [0, 100].  Raises on an empty sequence — a silent 0 would
+    corrupt reports.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile {p} out of range")
+    ordered = sorted(values)
+    if p == 0:
+        return ordered[0]
+    rank = max(1, int(round(p / 100 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)

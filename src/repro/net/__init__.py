@@ -1,0 +1,15 @@
+"""Inter-host fabric: hosts, replication channels, and the test-bench world.
+
+The paper's testbed is two server hosts joined by a dedicated 10 GbE link
+(replication traffic: checkpoints, disk mirroring, heartbeats) and a client
+host reaching them over 1 GbE through a switch.  :class:`~repro.net.world.World`
+builds exactly that topology; :class:`~repro.net.link.Channel` is the
+reliable point-to-point message pipe used by the agents, with fail-stop
+``cut()`` semantics for fault injection.
+"""
+
+from repro.net.host import Host
+from repro.net.link import Channel, Endpoint
+from repro.net.world import World
+
+__all__ = ["Channel", "Endpoint", "Host", "World"]

@@ -1,0 +1,42 @@
+"""A simulated host: one kernel plus its replication-channel endpoints."""
+
+from __future__ import annotations
+
+from repro.kernel.costmodel import CostModel
+from repro.kernel.kernel import Kernel
+from repro.net.link import Channel, Endpoint
+from repro.sim.engine import Engine
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One physical machine in the testbed."""
+
+    def __init__(self, engine: Engine, costs: CostModel, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self.kernel = Kernel(engine, costs, hostname=name)
+        #: Channels terminating at this host, by logical name.
+        self.endpoints: dict[str, Endpoint] = {}
+        self._channels: list[Channel] = []
+        self.failed = False
+
+    def attach_endpoint(self, logical_name: str, endpoint: Endpoint, channel: Channel) -> None:
+        self.endpoints[logical_name] = endpoint
+        if channel not in self._channels:
+            self._channels.append(channel)
+
+    def endpoint(self, logical_name: str) -> Endpoint:
+        return self.endpoints[logical_name]
+
+    def fail_stop(self) -> None:
+        """Crash the host: all its channels go silent (fail-stop model).
+
+        Containers hosted here are *not* notified — their state simply stops
+        being externally observable, exactly like a seized machine.
+        """
+        self.failed = True
+        self.kernel.failed = True
+        for channel in self._channels:
+            channel.cut()

@@ -1,0 +1,99 @@
+"""Per-container demultiplexing of a shared replication channel.
+
+A production pair of hosts protects *many* containers over one dedicated
+link (multi-tenancy is the point of containers, paper §I).  Each agent
+tags its messages with its container's name; an :class:`EndpointRouter`
+owns the endpoint's receive side and forwards each delivery to the
+subscriber for that tag, so any number of deployments share the channel
+without seeing each other's traffic.
+
+Exactly one router may own an endpoint's receive side (attaching twice
+returns the same router); code that reads an endpoint directly (the MC and
+COLO baselines) must not share that endpoint with routed deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.net.link import Delivery, Endpoint
+from repro.sim.engine import Engine, Interrupt
+from repro.sim.resources import Queue
+
+__all__ = ["EndpointRouter", "RoutedPort"]
+
+_ATTR = "_repro_router"
+
+
+class EndpointRouter:
+    """Routes an endpoint's inbound deliveries by message container tag."""
+
+    def __init__(self, endpoint: Endpoint, engine: Engine) -> None:
+        self.endpoint = endpoint
+        self.engine = engine
+        self._subscribers: dict[str, Queue] = {}
+        #: Deliveries whose tag nobody subscribed to (diagnostics).
+        self.dropped = 0
+        self._stopped = False
+        engine.process(self._loop(), name=f"router-{endpoint.name}")
+
+    @classmethod
+    def attach(cls, endpoint: Endpoint, engine: Engine) -> "EndpointRouter":
+        """Return the endpoint's router, creating it on first use."""
+        router = getattr(endpoint, _ATTR, None)
+        if router is None:
+            router = cls(endpoint, engine)
+            setattr(endpoint, _ATTR, router)
+        return router
+
+    def subscribe(self, container: str) -> Queue:
+        """The queue of deliveries tagged for *container*."""
+        queue = self._subscribers.get(container)
+        if queue is None:
+            queue = Queue(self.engine, name=f"router-{container}")
+            self._subscribers[container] = queue
+        return queue
+
+    def send(self, container: str, message: dict, size_bytes: int = 256, chunks: int = 1) -> None:
+        """Tag and transmit *message* to the peer router."""
+        message = dict(message)
+        message["container"] = container
+        self.endpoint.send(message, size_bytes=size_bytes, chunks=chunks)
+
+    def port(self, container: str) -> "RoutedPort":
+        """An endpoint-shaped handle carrying only *container*'s traffic."""
+        return RoutedPort(self, container)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _loop(self) -> Generator[Any, Any, None]:
+        while not self._stopped:
+            try:
+                delivery: Delivery = yield self.endpoint.recv()
+            except Interrupt:
+                return
+            tag = delivery.message.get("container")
+            queue = self._subscribers.get(tag)
+            if queue is None:
+                self.dropped += 1
+            else:
+                queue.put(delivery)
+
+
+class RoutedPort:
+    """Duck-types :class:`~repro.net.link.Endpoint` for one container's
+    slice of a shared channel: agents send and receive through it exactly
+    as they would through a dedicated endpoint."""
+
+    def __init__(self, router: EndpointRouter, container: str) -> None:
+        self._router = router
+        self.container = container
+        self._rx = router.subscribe(container)
+        self.name = f"{router.endpoint.name}/{container}"
+
+    def send(self, message: dict, size_bytes: int = 256, chunks: int = 1) -> None:
+        self._router.send(self.container, message, size_bytes=size_bytes, chunks=chunks)
+
+    def recv(self):
+        return self._rx.get()

@@ -1,0 +1,48 @@
+"""NiLiCon: the container replication core (the paper's contribution).
+
+A replicated deployment consists of:
+
+* a **primary agent** (:mod:`~repro.replication.primary`) driving the epoch
+  loop of Fig. 1: execute 30 ms → freeze → block input → checkpoint →
+  resume → transfer → on backup ACK, release buffered output;
+* a **backup agent** (:mod:`~repro.replication.backup`) buffering received
+  state (it deliberately does *not* maintain a ready-to-go container, §III),
+  committing pages into a store (:mod:`repro.criu.pagestore`), and — when
+  the failure detector fires — restoring and reattaching the container;
+* **network buffering** (:mod:`~repro.replication.netbuffer`): the output
+  commit machinery with epoch barriers and the two input-blocking
+  implementations (firewall vs plug);
+* **DRBD** (:mod:`~repro.replication.drbd`): asynchronous disk mirroring
+  with epoch barriers and backup-side buffering;
+* the **infrequent-state cache** (:mod:`~repro.replication.statecache`)
+  invalidated by ftrace hooks (§V-B);
+* the **heartbeat failure detector** (:mod:`~repro.replication.heartbeat`);
+* and the **manager** (:mod:`~repro.replication.manager`) that wires a
+  whole deployment together for experiments.
+
+Every §V optimization is a :class:`~repro.replication.config.NiliconConfig`
+knob, so Table I's cumulative walk and per-optimization ablations are plain
+parameter sweeps.
+"""
+
+from repro.replication.backup import BackupAgent
+from repro.replication.config import NiliconConfig
+from repro.replication.drbd import BackupDrbd, PrimaryDrbd
+from repro.replication.heartbeat import FailureDetector, HeartbeatSender
+from repro.replication.manager import ReplicatedDeployment
+from repro.replication.netbuffer import NetworkBuffer
+from repro.replication.primary import PrimaryAgent
+from repro.replication.statecache import InfrequentStateCache
+
+__all__ = [
+    "BackupAgent",
+    "BackupDrbd",
+    "FailureDetector",
+    "HeartbeatSender",
+    "InfrequentStateCache",
+    "NetworkBuffer",
+    "NiliconConfig",
+    "PrimaryAgent",
+    "PrimaryDrbd",
+    "ReplicatedDeployment",
+]

@@ -1,0 +1,297 @@
+"""The backup agent: buffer, commit, acknowledge — and recover (paper §IV).
+
+During normal operation the backup agent:
+
+* receives checkpoint state over the pair channel, charging per-chunk read
+  cost (finer-grained arrivals cost more backup CPU — Table V's Node vs
+  Redis discussion);
+* waits until the matching DRBD barrier's disk writes are all present,
+  sends the acknowledgment (which lets the primary release that epoch's
+  buffered network output), then *commits*: pages into the committed page
+  store (radix tree or linked list), in-kernel component descriptions into
+  buffers, DRBD writes onto the backup disk.
+
+The backup deliberately maintains **no ready-to-go container** (§III) —
+applying hundreds of in-kernel state changes per epoch would cost too many
+system calls.  All of it is applied only at failover, in
+:meth:`BackupAgent._recover`, which implements §IV's recovery sequence:
+discard uncommitted state, build CRIU images from committed state, restore
+with the namespace detached from the bridge, reattach, gratuitous ARP.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.container.spec import ContainerSpec
+from repro.criu.images import CheckpointImage
+from repro.criu.pagestore import LinkedListPageStore, PageStore, RadixTreePageStore
+from repro.criu.restore import FullState, RestoreEngine
+from repro.kernel.netdev import Bridge
+from repro.metrics.collector import RecoveryBreakdown, RunMetrics
+from repro.net.link import Endpoint
+from repro.replication.config import NiliconConfig
+from repro.replication.drbd import BackupDrbd
+from repro.replication.heartbeat import FailureDetector
+from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.resources import Queue
+from repro.sim.trace import trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.runtime import Container, ContainerRuntime
+
+__all__ = ["BackupAgent"]
+
+
+class BackupAgent:
+    """Receives replication state for one container on the backup host."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        runtime: "ContainerRuntime",
+        endpoint: Endpoint,
+        config: NiliconConfig,
+        spec: ContainerSpec,
+        bridge: Bridge,
+        drbd: list[BackupDrbd],
+        metrics: RunMetrics,
+        on_failover: Callable[["Container"], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.runtime = runtime
+        self.kernel = runtime.kernel
+        self.endpoint = endpoint
+        self.config = config
+        self.spec = spec
+        self.bridge = bridge
+        self.drbd = drbd
+        self.metrics = metrics
+        self.on_failover = on_failover
+
+        costs = self.kernel.costs
+        self.page_store: PageStore = (
+            RadixTreePageStore(costs) if config.page_store == "radix" else LinkedListPageStore(costs)
+        )
+        self.restore_engine = RestoreEngine(self.kernel, config.criu)
+        self.detector = FailureDetector(
+            engine,
+            on_failure=self._on_failure_detected,
+            interval_us=config.heartbeat_interval_us,
+            miss_threshold=config.heartbeat_miss_threshold,
+        )
+
+        #: Latest committed in-kernel component state.
+        self._process_components: list[dict] = []
+        self._sockets: list[dict] = []
+        self._namespaces: dict | None = None
+        self._cgroup: dict | None = None
+        #: Accumulated fs-cache checkpoint: keyed for overwrite semantics.
+        self._fs_inodes: dict[str, dict] = {}
+        self._fs_pages: dict[tuple[str, int], bytes] = {}
+
+        self.committed_epoch = -1
+        self.received_epoch = -1
+        self.failed_over = False
+        self.restored_container: "Container | None" = None
+
+        self._state_queue = Queue(engine, name="backup-state")
+        self._stopped = False
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self._processes.append(
+            self.engine.process(self._dispatch_loop(), name="backup-dispatch")
+        )
+        self._processes.append(
+            self.engine.process(self._commit_loop(), name="backup-commit")
+        )
+        # The failure detector is armed only after the first commit (see
+        # _commit_state): before the backup holds a complete checkpoint it
+        # has nothing to recover from, and the long initial full checkpoint
+        # (during which the frozen container sends no heartbeats) must not
+        # be misread as a failure.
+
+    def stop(self) -> None:
+        self._stopped = True
+        self.detector.stop()
+
+    def _charge(self, us: int) -> Event:
+        """Charge backup CPU time (accounted for Table V)."""
+        self.metrics.charge_backup_cpu(us)
+        return self.engine.timeout(us)
+
+    # ------------------------------------------------------------------ #
+    # Receive path                                                         #
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> Generator[Any, Any, None]:
+        """Route channel messages; never blocks on commit work so that
+        heartbeats keep flowing to the detector during large commits."""
+        while not self._stopped:
+            try:
+                delivery = yield self.endpoint.recv()
+            except Interrupt:
+                return
+            message = delivery.message
+            kind = message.get("kind")
+            if kind == "heartbeat":
+                self.detector.on_heartbeat()
+            elif kind == "disk_write":
+                self.drbd[message["disk"]].on_disk_write(
+                    message["epoch"], message["block"], message["data"]
+                )
+            elif kind == "disk_barrier":
+                self.drbd[message["disk"]].on_barrier(message["epoch"], message["writes"])
+            elif kind == "state":
+                self._state_queue.put((message["epoch"], message["image"], delivery))
+
+    def _commit_loop(self) -> Generator[Any, Any, None]:
+        """Process state images strictly in epoch order."""
+        while not self._stopped:
+            try:
+                epoch, image, delivery = yield self._state_queue.get()
+            except Interrupt:
+                return
+            if self.failed_over:
+                return
+            # Reading the streamed state costs CPU per chunk (Table V).
+            yield self._charge(delivery.chunks * self.kernel.costs.backup_read_chunk)
+            if delivery.message.get("compressed"):
+                yield self._charge(
+                    image.dirty_page_count * self.kernel.costs.decompress_per_page
+                )
+            # Wait until this epoch's disk writes are fully here too.
+            for drbd in self.drbd:
+                yield drbd.epoch_complete(epoch)
+            if self.failed_over:
+                return
+            self.received_epoch = epoch
+            trace(self.engine, "backup", "state_received", epoch=epoch)
+            # ACK: the primary may now release this epoch's output.
+            self.endpoint.send({"kind": "ack", "epoch": epoch}, size_bytes=64)
+            trace(self.engine, "backup", "ack_sent", epoch=epoch)
+            yield from self._commit_state(epoch, image)
+            trace(self.engine, "backup", "committed", epoch=epoch)
+
+    def _commit_state(self, epoch: int, image: CheckpointImage) -> Generator[Any, Any, None]:
+        self.page_store.begin_checkpoint()
+        store_cost = 0
+        for pimage in image.processes:
+            for page_idx, content in pimage.pages.items():
+                store_cost += self.page_store.store_page(pimage.pid, page_idx, content)
+        if store_cost:
+            yield self._charge(store_cost)
+
+        self._process_components = [
+            {
+                "pid": p.pid,
+                "comm": p.comm,
+                "vmas": p.vmas,
+                "threads": p.threads,
+                "fd_entries": p.fd_entries,
+            }
+            for p in image.processes
+        ]
+        self._sockets = image.sockets
+        if image.namespaces is not None:
+            self._namespaces = image.namespaces
+        if image.cgroup is not None:
+            self._cgroup = image.cgroup
+        for meta in image.fs_inode_entries:
+            self._fs_inodes[meta["path"]] = meta
+        for path, page_idx, content in image.fs_page_entries:
+            self._fs_pages[(path, page_idx)] = content
+
+        for drbd in self.drbd:
+            n = yield from drbd.commit_epoch(epoch)
+            if n:
+                self.metrics.charge_backup_cpu(
+                    n * self.kernel.costs.backup_disk_commit_per_block
+                )
+        first_commit = self.committed_epoch < 0
+        self.committed_epoch = epoch
+        if first_commit and self.config.detector_enabled:
+            self._processes.append(self.detector.start())
+
+    # ------------------------------------------------------------------ #
+    # Failure → recovery                                                   #
+    # ------------------------------------------------------------------ #
+    def _on_failure_detected(self) -> None:
+        if not self.failed_over:
+            self._processes.append(
+                self.engine.process(self._recover(), name="backup-recover")
+            )
+
+    def _recover(self) -> Generator[Any, Any, None]:
+        self.failed_over = True
+        recovery_start = self.engine.now
+        costs = self.kernel.costs
+        trace(self.engine, "recovery", "detected", committed=self.committed_epoch)
+
+        # Discard everything not committed (uncommitted epochs never became
+        # externally visible: their output was still buffered on the primary).
+        for drbd in self.drbd:
+            drbd.discard_uncommitted()
+
+        # Materialize CRIU-format image files from the committed state
+        # (SSIV: "create image files in a format that CRIU expects"), then
+        # restore from them — the restore path parses what the dump path
+        # wrote, byte for byte.
+        from repro.criu.imagefiles import read_image_files, write_image_files
+
+        restore_start = self.engine.now
+        image_files = write_image_files(self._assemble_full_state())
+        image_bytes = sum(len(blob) for blob in image_files.values())
+        yield self._charge(costs.page_copy_cost(image_bytes // 4096))
+        state = read_image_files(image_files)
+        trace(self.engine, "recovery", "images_written", bytes=image_bytes)
+        container = yield from self.restore_engine.restore(self.runtime, state)
+        restore_us = self.engine.now - restore_start
+        trace(self.engine, "recovery", "restored", pages=state.total_pages)
+
+        # Reconnect the namespace to the bridge, then advertise the new MAC.
+        yield self._charge(costs.bridge_reconnect)
+        port = self.bridge.attach(container.veth)
+        arp_start = self.engine.now
+        yield self._charge(costs.gratuitous_arp)
+        self.bridge.gratuitous_arp(self.spec.ip, port)
+        arp_us = self.engine.now - arp_start
+        trace(self.engine, "recovery", "arp_announced", ip=self.spec.ip)
+
+        container.start_keepalive()
+        self.restored_container = container
+        self.metrics.recovery = RecoveryBreakdown(
+            restore_us=restore_us,
+            arp_us=arp_us,
+            reconnect_us=costs.bridge_reconnect,
+            total_recovery_us=self.engine.now - recovery_start,
+        )
+        if self.on_failover is not None:
+            self.on_failover(container)
+
+    def _assemble_full_state(self) -> FullState:
+        processes = []
+        for component in self._process_components:
+            processes.append(
+                {
+                    "comm": component["comm"],
+                    "vmas": component["vmas"],
+                    "pages": self.page_store.pages_of(component["pid"]),
+                    "threads": component["threads"],
+                    "fd_entries": component["fd_entries"],
+                }
+            )
+        return FullState(
+            spec=self.spec,
+            processes=processes,
+            sockets=self._sockets,
+            namespaces=self._namespaces,
+            cgroup=self._cgroup,
+            fs_inode_entries=list(self._fs_inodes.values()),
+            fs_page_entries=[
+                (path, idx, content) for (path, idx), content in self._fs_pages.items()
+            ],
+        )

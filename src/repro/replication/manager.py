@@ -1,0 +1,222 @@
+"""Deployment orchestration: wire a full NiLiCon pair together.
+
+:class:`ReplicatedDeployment` assembles what §IV's architecture figure
+shows: the protected container and keep-alive on the primary, primary and
+backup agents, network buffering, DRBD pairs for every mounted filesystem,
+the heartbeat sender and failure detector — and provides the fault
+injection used by the paper's validation (§VII-A): fail-stop emulated by
+silencing all the primary's network interfaces.
+
+Beyond the paper, :meth:`ReplicatedDeployment.reprotect` re-establishes
+protection after a failover: the restored container (now the de-facto
+primary on the old backup host) is adopted into a fresh deployment against
+a replacement backup host, so the service survives *chains* of failures —
+the "nine lives" the system is named for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.container.runtime import Container, ContainerRuntime
+from repro.container.spec import ContainerSpec
+from repro.metrics.collector import RunMetrics
+from repro.net.host import Host
+from repro.net.link import Channel
+from repro.net.world import World
+from repro.replication.backup import BackupAgent
+from repro.replication.config import NiliconConfig
+from repro.replication.drbd import BackupDrbd, PrimaryDrbd
+from repro.replication.heartbeat import HeartbeatSender
+from repro.replication.netbuffer import NetworkBuffer
+from repro.replication.primary import PrimaryAgent
+
+__all__ = ["ReplicatedDeployment"]
+
+
+class ReplicatedDeployment:
+    """One replicated container across a primary/backup host pair."""
+
+    def __init__(
+        self,
+        world: World,
+        spec: ContainerSpec,
+        config: NiliconConfig | None = None,
+        on_failover: Callable[[Container], None] | None = None,
+        primary_host: Host | None = None,
+        backup_host: Host | None = None,
+        channel: Channel | None = None,
+        container: Container | None = None,
+    ) -> None:
+        """Deploy *spec* replicated from *primary_host* to *backup_host*.
+
+        Defaults to the world's standard pair and creates the container;
+        pass *container* (plus hosts/channel) to adopt an already-running
+        container instead — the re-protection path after a failover.
+        """
+        self.world = world
+        self.spec = spec
+        self.config = config if config is not None else NiliconConfig.nilicon()
+        self.on_failover = on_failover
+        self.metrics = RunMetrics()
+        self.primary_host = primary_host if primary_host is not None else world.primary
+        self.backup_host = backup_host if backup_host is not None else world.backup
+
+        engine = world.engine
+        costs = world.costs
+        if channel is None:
+            channel = world.pair_channel
+        self.channel = channel
+        # Route the shared pair link per container, so any number of
+        # replicated containers coexist on one host pair (multi-tenancy).
+        from repro.net.router import EndpointRouter
+
+        primary_endpoint = EndpointRouter.attach(channel.a, engine).port(spec.name)
+        backup_endpoint = EndpointRouter.attach(channel.b, engine).port(spec.name)
+
+        # -- storage: identical disks on both hosts, DRBD pair per mount ----
+        self.primary_drbd: list[PrimaryDrbd] = []
+        self.backup_drbd: list[BackupDrbd] = []
+        for disk_index, (_mountpoint, fs_name) in enumerate(spec.mounts):
+            dev_name = f"drbd-{fs_name}"
+            if fs_name not in self.primary_host.kernel.filesystems:
+                primary_dev = self.primary_host.kernel.add_block_device(dev_name)
+                self.primary_host.kernel.mkfs(dev_name, fs_name)
+            else:
+                primary_dev = self.primary_host.kernel.filesystems[fs_name].device
+            if fs_name not in self.backup_host.kernel.filesystems:
+                backup_dev = self.backup_host.kernel.add_block_device(dev_name)
+                self.backup_host.kernel.mkfs(dev_name, fs_name)
+            else:
+                backup_dev = self.backup_host.kernel.filesystems[fs_name].device
+            # Initial full resync: DRBD brings a fresh backup disk to the
+            # primary's current content before incremental mirroring starts.
+            backup_dev.load_snapshot(primary_dev.snapshot())
+            self.primary_drbd.append(PrimaryDrbd(primary_dev, primary_endpoint, disk_index))
+            self.backup_drbd.append(BackupDrbd(engine, costs, backup_dev))
+
+        # -- primary side -----------------------------------------------------
+        self.primary_runtime = ContainerRuntime(self.primary_host.kernel, world.bridge)
+        if container is None:
+            self.container = self.primary_runtime.create(spec)
+        else:
+            # Adoption: the container already runs on the primary host.
+            assert container.kernel is self.primary_host.kernel, (
+                "adopted container must live on the primary host"
+            )
+            self.container = container
+            self.primary_runtime.containers[spec.name] = container
+        self.container.start_keepalive(self.config.heartbeat_interval_us)
+        self.netbuffer = NetworkBuffer(
+            engine, costs, self.container, input_block=self.config.input_block
+        )
+        self.primary_agent = PrimaryAgent(
+            container=self.container,
+            endpoint=primary_endpoint,
+            config=self.config,
+            netbuffer=self.netbuffer,
+            drbd=self.primary_drbd,
+            metrics=self.metrics,
+        )
+        self.heartbeat = HeartbeatSender(
+            engine,
+            primary_endpoint,
+            read_cpuacct=self.container.cgroup.read_cpuacct,
+            interval_us=self.config.heartbeat_interval_us,
+        )
+
+        # -- backup side --------------------------------------------------------
+        self.backup_runtime = ContainerRuntime(self.backup_host.kernel, world.bridge)
+        self.backup_agent = BackupAgent(
+            engine=engine,
+            runtime=self.backup_runtime,
+            endpoint=backup_endpoint,
+            config=self.config,
+            spec=spec,
+            bridge=world.bridge,
+            drbd=self.backup_drbd,
+            metrics=self.metrics,
+            on_failover=on_failover,
+        )
+
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Begin replication: agents, heartbeats, detector."""
+        if self._started:
+            return
+        self._started = True
+        self.backup_agent.start()
+        self.primary_agent.start()
+        self.heartbeat.start()
+
+    def stop(self) -> None:
+        """Cleanly stop replication (experiment teardown, no failover)."""
+        self.heartbeat.stop()
+        self.primary_agent.stop()
+        self.backup_agent.stop()
+        self.metrics.ended_at_us = self.world.engine.now
+
+    # ------------------------------------------------------------------ #
+    # Fault injection (SSVII-A)                                            #
+    # ------------------------------------------------------------------ #
+    def inject_fail_stop(self) -> None:
+        """Emulate a fail-stop primary failure.
+
+        As in the paper, failure is emulated by blocking all traffic on the
+        primary's interfaces: the pair channel goes silent (heartbeats stop
+        reaching the detector) and the container's veth is cut.  The
+        primary's processes also stop executing (crash semantics).
+        """
+        self.primary_host.fail_stop()
+        self.channel.cut()
+        self.container.kill()
+        self.heartbeat.stop()
+        self.primary_agent.crash()
+        self.metrics.ended_at_us = self.world.engine.now
+
+    # ------------------------------------------------------------------ #
+    # Re-protection (beyond the paper: survive the *next* failure too)     #
+    # ------------------------------------------------------------------ #
+    def reprotect(
+        self,
+        new_backup_host: Host,
+        config: NiliconConfig | None = None,
+        on_failover: Callable[[Container], None] | None = None,
+    ) -> "ReplicatedDeployment":
+        """After a failover, protect the restored container again.
+
+        The restored container on the old backup host becomes the primary
+        of a fresh deployment whose backup is *new_backup_host*; call
+        ``start()`` on the returned deployment to resume replication.
+        """
+        if not self.failed_over or self.restored_container is None:
+            raise RuntimeError("reprotect() requires a completed failover")
+        channel = self.world.connect_pair(self.backup_host, new_backup_host)
+        return ReplicatedDeployment(
+            self.world,
+            self.spec,
+            config=config if config is not None else self.config,
+            on_failover=on_failover if on_failover is not None else self.on_failover,
+            primary_host=self.backup_host,
+            backup_host=new_backup_host,
+            channel=channel,
+            container=self.restored_container,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Views                                                                #
+    # ------------------------------------------------------------------ #
+    @property
+    def restored_container(self) -> Container | None:
+        return self.backup_agent.restored_container
+
+    @property
+    def failed_over(self) -> bool:
+        return self.backup_agent.failed_over
+
+    def audit_output_commit(self) -> list[str]:
+        return self.netbuffer.audit_output_commit()

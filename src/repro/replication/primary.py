@@ -1,0 +1,236 @@
+"""The primary agent: NiLiCon's epoch loop (paper Fig. 1, §IV).
+
+Per epoch:
+
+1. **Execute** — the container runs for 30 ms; its output buffers behind
+   the egress plug; DRBD mirrors disk writes asynchronously; DNC bits track
+   filesystem-cache changes; soft-dirty bits track memory writes.
+2. **Stop** — freeze the container (virtual signals; poll or stock 100 ms
+   sleep), block network input (plug or firewall), send the DRBD barrier.
+3. **Local state copy** — run the CRIU checkpoint over the frozen
+   container.  With the staging buffer, dirty pages are memcpy'd locally
+   and the container resumes before transfer; without it, the container
+   stays stopped until the backup confirms receipt.
+4. **Resume + Send state** — unblock input, thaw, stream the image over
+   the 10 GbE pair link.
+5. **Release output** — when the backup acknowledges the epoch, release
+   exactly that epoch's buffered packets (output commit).
+
+All checkpoint-path work is charged as simulated time *while the container
+is frozen*, which is how stop times (Table III/IV) and, through them,
+overheads (Fig. 3, Table I) emerge from the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.criu.checkpoint import CheckpointEngine
+from repro.criu.collect import StateCollector
+from repro.metrics.collector import EpochRecord, RunMetrics
+from repro.net.link import Endpoint
+from repro.replication.config import NiliconConfig
+from repro.replication.drbd import PrimaryDrbd
+from repro.replication.netbuffer import NetworkBuffer
+from repro.replication.statecache import InfrequentStateCache
+from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.trace import trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.runtime import Container
+
+__all__ = ["PrimaryAgent"]
+
+
+class PrimaryAgent:
+    """Drives replication of one container from the primary host."""
+
+    def __init__(
+        self,
+        container: "Container",
+        endpoint: Endpoint,
+        config: NiliconConfig,
+        netbuffer: NetworkBuffer,
+        drbd: list[PrimaryDrbd],
+        metrics: RunMetrics,
+    ) -> None:
+        self.container = container
+        self.kernel = container.kernel
+        self.engine: Engine = container.engine
+        self.endpoint = endpoint
+        self.config = config
+        self.netbuffer = netbuffer
+        self.drbd = drbd
+        self.metrics = metrics
+
+        self.criu = CheckpointEngine(self.kernel, config.criu)
+        self.state_cache: InfrequentStateCache | None = None
+        if config.criu.cache_infrequent_state:
+            collector = StateCollector(self.kernel, config.criu)
+            self.state_cache = InfrequentStateCache(self.kernel, collector, container)
+
+        self.epoch = 0
+        self._stopped = False
+        self._receipt_events: dict[int, Event] = {}
+        self._processes: list[Process] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        self.metrics.started_at_us = self.engine.now
+        self._processes.append(
+            self.engine.process(self._epoch_loop(), name="primary-epoch-loop")
+        )
+        self._processes.append(
+            self.engine.process(self._ack_loop(), name="primary-ack-loop")
+        )
+
+    def stop(self) -> None:
+        """Stop cleanly at the next epoch boundary (experiment teardown)."""
+        self._stopped = True
+        self.metrics.ended_at_us = self.engine.now
+
+    def crash(self) -> None:
+        """Fail-stop: the agent dies instantly with its host."""
+        self._stopped = True
+        self.metrics.ended_at_us = self.engine.now
+        for process in self._processes:
+            if process.is_alive:
+                process.interrupt("fail-stop")
+
+    # ------------------------------------------------------------------ #
+    # Epoch machinery                                                      #
+    # ------------------------------------------------------------------ #
+    def _epoch_loop(self) -> Generator[Any, Any, None]:
+        try:
+            # Seed the backup with a full checkpoint before the first epoch.
+            yield from self._checkpoint_cycle(incremental=False)
+            while not self._stopped:
+                yield self.engine.timeout(self.config.epoch_execute_us)
+                if self._stopped or self.kernel.failed:
+                    return
+                yield from self._checkpoint_cycle(incremental=True)
+        except Interrupt:
+            return  # fail-stop: the agent dies silently with its host
+        except Exception:
+            if self.kernel.failed:
+                return  # dying with the host is expected under fail-stop
+            raise
+
+    def _checkpoint_cycle(self, incremental: bool) -> Generator[Any, Any, None]:
+        costs = self.kernel.costs
+        epoch = self.epoch
+        stop_start = self.engine.now
+
+        freeze_us = yield from self.container.freeze(poll=self.config.criu.freeze_poll)
+        trace(self.engine, "epoch", "frozen", epoch=epoch)
+        yield from self.netbuffer.block_input()
+        trace(self.engine, "epoch", "input_blocked", epoch=epoch)
+        for drbd in self.drbd:
+            drbd.send_barrier(epoch)
+        trace(self.engine, "epoch", "disk_barrier", epoch=epoch)
+
+        collect_start = self.engine.now
+        provider = self.state_cache.provider if self.state_cache is not None else None
+        image = yield from self.criu.checkpoint(
+            self.container, incremental=incremental, infrequent_provider=provider
+        )
+        collect_us = self.engine.now - collect_start
+        trace(self.engine, "epoch", "collected", epoch=epoch,
+              dirty=image.dirty_page_count)
+
+        # Epoch barrier: output buffered so far belongs to this epoch.
+        self.netbuffer.insert_epoch_barrier(epoch)
+
+        sync_transfer_us = 0
+        if self.config.staging_buffer:
+            # The parasite transfer (charged during collection) already
+            # landed the dirty pages in the agent's staging buffer — with
+            # shared memory, that IS the staging copy.  Only a fixed
+            # bookkeeping cost remains before the container may resume.
+            yield self.engine.timeout(costs.syscall_base * 8)
+        else:
+            # Stopped until the backup confirms receipt: per-page socket
+            # writes (plus proxy copies in the stock path), then wire time.
+            transfer_start = self.engine.now
+            per_page = costs.net_write_per_page
+            fixed = 0
+            if self.config.criu.use_proxy_processes:
+                per_page += costs.proxy_per_page
+                fixed += costs.proxy_fixed
+            yield self.engine.timeout(fixed + image.dirty_page_count * per_page)
+            self._send_state(epoch, image)
+            yield self._receipt_event(epoch)
+            sync_transfer_us = self.engine.now - transfer_start
+
+        yield from self.netbuffer.unblock_input()
+        yield from self.container.thaw()
+        trace(self.engine, "epoch", "resumed", epoch=epoch)
+        stop_us = self.engine.now - stop_start
+
+        if self.config.staging_buffer:
+            if self.config.compress_transfer:
+                # Compression happens after resume, off the critical path.
+                yield self.engine.timeout(
+                    image.dirty_page_count * costs.compress_per_page
+                )
+            self._send_state(epoch, image)
+
+        self.metrics.record_epoch(
+            EpochRecord(
+                epoch=epoch,
+                at_us=self.engine.now,
+                stop_us=stop_us,
+                dirty_pages=image.dirty_page_count,
+                state_bytes=image.size_bytes(),
+                freeze_us=freeze_us,
+                collect_us=collect_us,
+                sync_transfer_us=sync_transfer_us,
+                infrequent_from_cache=image.infrequent_from_cache,
+            )
+        )
+        self.metrics.charge_primary_cpu(stop_us)
+        self.epoch += 1
+
+    def _send_state(self, epoch: int, image) -> None:
+        size = image.size_bytes()
+        compressed = self.config.compress_transfer
+        if compressed:
+            size = max(1024, int(size * self.config.compression_ratio))
+        self.endpoint.send(
+            {"kind": "state", "epoch": epoch, "image": image, "compressed": compressed},
+            size_bytes=size,
+            chunks=image.chunk_count(),
+        )
+        trace(self.engine, "epoch", "state_sent", epoch=epoch, bytes=size)
+
+    def _receipt_event(self, epoch: int) -> Event:
+        event = self._receipt_events.get(epoch)
+        if event is None:
+            event = Event(self.engine)
+            self._receipt_events[epoch] = event
+        return event
+
+    # ------------------------------------------------------------------ #
+    # Acknowledgments → output release                                     #
+    # ------------------------------------------------------------------ #
+    def _ack_loop(self) -> Generator[Any, Any, None]:
+        while not self._stopped:
+            try:
+                delivery = yield self.endpoint.recv()
+            except Interrupt:
+                return  # fail-stop
+            message = delivery.message
+            if message.get("kind") != "ack":
+                continue
+            epoch = message["epoch"]
+            trace(self.engine, "epoch", "acked", epoch=epoch)
+            self.netbuffer.acked_epoch = max(self.netbuffer.acked_epoch, epoch)
+            released = self.netbuffer.release_epoch(epoch)
+            trace(self.engine, "epoch", "output_released", epoch=epoch,
+                  packets=released)
+            self.metrics.packets_released += released
+            event = self._receipt_events.pop(epoch, None)
+            if event is not None and not event.triggered:
+                event.succeed(None)

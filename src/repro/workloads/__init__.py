@@ -1,0 +1,37 @@
+"""Benchmark workloads (paper §VI).
+
+Synthetic equivalents of the paper's seven benchmarks, parameterized so
+that the *checkpoint-relevant* footprint matches what the paper reports in
+Tables III-V: dirty pages per epoch, resident set, socket counts, process
+and thread counts, disk write rates, and per-request CPU costs.
+
+* :mod:`~repro.workloads.kvstore` — Redis (memory-resident NoSQL) and SSDB
+  (disk-persistent NoSQL), driven by a YCSB-like batched 50/50 client.
+* :mod:`~repro.workloads.webserver` — Lighttpd (multi-process PHP
+  watermarking), Node (single-process, many clients), DJCMS (CMS stack),
+  driven by SIEGE-like concurrent clients.
+* :mod:`~repro.workloads.parsec` — streamcluster and swaptions
+  (non-interactive CPU/memory benchmarks).
+* :mod:`~repro.workloads.microbench` — the two §VII-A validation
+  microbenchmarks (disk read/write mix; network echo of random sizes) plus
+  the Net 10-byte echo used for recovery-latency measurement (§VII-B).
+* :mod:`~repro.workloads.catalog` — the named registry experiments use.
+
+All services are written *restart-safe*: request bytes are consumed from
+socket state and their effects applied atomically inside one execution
+slice, so a checkpoint can never observe a half-processed request.  After
+failover the same workload object re-attaches to the restored container
+and continues from the restored kernel/memory state.
+"""
+
+from repro.workloads.base import ClientStats, ComputeWorkload, ServerWorkload, Workload
+from repro.workloads.catalog import WORKLOADS, make_workload
+
+__all__ = [
+    "ClientStats",
+    "ComputeWorkload",
+    "ServerWorkload",
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+]

@@ -1,0 +1,227 @@
+"""The benchmark catalog: the paper's seven workloads, calibrated.
+
+Each factory returns a fresh workload instance whose checkpoint-relevant
+footprint targets the paper's measurements (Table III dirty pages & stop
+times, Table IV state sizes, Table V active CPU).  The calibration
+rationale for each parameter set is in the factory docstring; measured
+agreement is tracked in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.kvstore import KvServer
+from repro.workloads.microbench import DiskRwWorkload, EchoServer
+from repro.workloads.parsec import ParsecWorkload
+from repro.workloads.webserver import WebServer
+
+__all__ = ["WORKLOADS", "make_workload"]
+
+
+def swaptions() -> ParsecWorkload:
+    """swaptions: 4 threads, small footprint, tiny dirty rate.
+
+    Targets: 46 dirty pages/epoch, ~190 KB state, active CPU ~3.96.
+    """
+    return ParsecWorkload(
+        name="swaptions",
+        n_threads=4,
+        resident_pages=3_000,
+        dirty_pages_per_epoch=46,
+        unit_cpu_us=250,
+        total_units=6_000,
+        mapped_files=20,
+    )
+
+
+def streamcluster(
+    n_threads: int = 4,
+    dirty_pages_per_epoch: int | None = None,
+    total_units: int | None = None,
+) -> ParsecWorkload:
+    """streamcluster: 4 threads over a ~49 K-page data set.
+
+    Targets: 303 dirty pages/epoch @ 4 threads (Table III); the thread-
+    scalability experiment passes its own thread count, with the paper's
+    footprint growth of ~2 K pages/thread and dirty growth of ~12/thread
+    (121 @ 1 thread → 495 @ 32).
+    """
+    if dirty_pages_per_epoch is None:
+        dirty_pages_per_epoch = 303 if n_threads == 4 else 109 + 12 * n_threads
+    if total_units is None:
+        total_units = 5_000 * max(1, n_threads // 4)
+    return ParsecWorkload(
+        name="streamcluster",
+        n_threads=n_threads,
+        resident_pages=47_000 + 2_000 * n_threads,
+        dirty_pages_per_epoch=dirty_pages_per_epoch,
+        unit_cpu_us=300,
+        total_units=total_units,
+        mapped_files=35,
+    )
+
+
+def redis() -> KvServer:
+    """Redis: memory-only store, single-threaded, batched 50/50 clients.
+
+    Targets: ~6.3 K dirty pages/epoch, ~24 MB state/epoch, active ~0.98.
+    6000 keys * 4 KiB pages gives the ~24 MB working set; at ~3 us/op one
+    core sustains ~330 K ops/s, and half of those are sets.
+    """
+    return KvServer(
+        name="redis",
+        n_keys=8_000,
+        value_len=128,
+        persistence=False,
+        cpu_per_op_us=2,
+        n_threads=1,
+        mapped_files=30,
+    )
+
+
+def ssdb() -> KvServer:
+    """SSDB: full persistence; sets go to disk through the page cache.
+
+    Targets: ~590 dirty memory pages/epoch (only index pages), ~2.9 MB
+    state/epoch (fs-cache entries dominate), heavy DRBD stream.
+    """
+    return KvServer(
+        name="ssdb",
+        n_keys=8_000,
+        value_len=128,
+        persistence=True,
+        cpu_per_op_us=45,
+        n_threads=2,
+        index_pages=600,
+        mapped_files=30,
+        # Heavy batches (~70 ms): a small pipeline window already saturates
+        # both worker threads without queueing seconds of work.
+        client_window=4,
+    )
+
+
+def node() -> WebServer:
+    """Node: single process/thread; 128 clients needed for saturation.
+
+    Targets: ~5.4 K dirty pages/epoch, ~13 ms socket collection (128
+    sockets), the highest stop time of Table III.
+    """
+    return WebServer(
+        name="node",
+        n_processes=1,
+        threads_per_process=1,
+        n_clients=128,
+        cpu_per_request_us=230,
+        dirty_pages_per_request=41,
+        response_len=8_192,
+        heap_pages=40_000,
+        resident_pages=28_000,
+        mapped_files=60,
+    )
+
+
+def lighttpd(
+    n_processes: int = 4,
+    n_clients: int | None = None,
+    cpu_per_request_us: int = 285_000,
+    dirty_pages_per_request: int = 3_400,
+) -> WebServer:
+    """Lighttpd: PHP watermarking, 4 worker processes.
+
+    Targets: ~1.6 K dirty pages/epoch, stop dominated by per-process
+    collection (4 processes).  The scalability experiments vary processes
+    (1-8) and clients (2-128).
+    """
+    if n_clients is None:
+        # One client per worker process saturates the CPU-heavy watermark
+        # requests without deep queueing (the paper's process sweep raises
+        # clients "from 2 to 8" alongside 1->8 processes).
+        n_clients = max(2, n_processes)
+    # PHP watermarking is genuinely heavy: ~285 ms/request (Table VI) that
+    # touches thousands of image pages — which is what makes ~14 req/s
+    # saturate four cores yet dirty ~1.6 K pages per 30 ms epoch.
+    return WebServer(
+        name="lighttpd",
+        n_processes=n_processes,
+        threads_per_process=1,
+        n_clients=n_clients,
+        cpu_per_request_us=cpu_per_request_us,
+        dirty_pages_per_request=dirty_pages_per_request,
+        response_len=32_768,
+        heap_pages=16_000,
+        resident_pages=10_000,
+        mapped_files=45,
+    )
+
+
+def djcms() -> WebServer:
+    """DJCMS: nginx + Python + MySQL, heavy admin-dashboard requests.
+
+    Targets: ~3.0 K dirty pages/epoch, ~9.5 MB median state, active ~1.41.
+    """
+    # Admin-dashboard rendering through nginx+Python+MySQL: ~89 ms per
+    # request (Table VI), dirtying a large slice of interpreter and DB
+    # buffer pages.
+    return WebServer(
+        name="djcms",
+        n_processes=3,
+        threads_per_process=1,
+        n_clients=6,
+        cpu_per_request_us=89_000,
+        dirty_pages_per_request=2_600,
+        response_len=16_384,
+        heap_pages=30_000,
+        resident_pages=22_000,
+        mapped_files=70,
+    )
+
+
+def disk_rw() -> DiskRwWorkload:
+    """SSVII-A validation microbenchmark 1 (disk / fs cache / heap)."""
+    return DiskRwWorkload()
+
+
+def net_echo() -> EchoServer:
+    """SSVII-A validation microbenchmark 2 (network stack / app stack)."""
+    return EchoServer(name="net-echo", min_len=1, max_len=65_536, n_clients=2)
+
+
+def net_10b() -> EchoServer:
+    """The 'Net' benchmark of SSVII-B: 10-byte echo, recovery latency."""
+    return EchoServer(name="net", min_len=10, max_len=10, n_clients=4, stack_pages=1)
+
+
+WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "swaptions": swaptions,
+    "streamcluster": streamcluster,
+    "redis": redis,
+    "ssdb": ssdb,
+    "node": node,
+    "lighttpd": lighttpd,
+    "djcms": djcms,
+    "disk-rw": disk_rw,
+    "net-echo": net_echo,
+    "net": net_10b,
+}
+
+#: The seven benchmarks of Fig. 3 / Tables III-VI, in the paper's order.
+PAPER_BENCHMARKS = (
+    "swaptions",
+    "streamcluster",
+    "redis",
+    "ssdb",
+    "node",
+    "lighttpd",
+    "djcms",
+)
+
+
+def make_workload(name: str, **kw) -> Workload:
+    """Instantiate a catalog workload by name."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(WORKLOADS)}") from None
+    return factory(**kw) if kw else factory()

@@ -1,0 +1,53 @@
+"""Wire protocol helpers for workload traffic.
+
+All workload requests/responses are length-prefixed frames of real bytes —
+they flow through the simulated TCP stack, get buffered by the plug qdisc,
+survive checkpoints inside socket read/write queues, and are re-parsed
+after failover.  Frame bodies are ASCII expressions decoded with
+``ast.literal_eval`` (values are ASCII too, so wire sizes are faithful).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+__all__ = ["decode_body", "encode_body", "frame", "peel_frame", "frame_ready"]
+
+HEADER_LEN = 8  # ASCII decimal length, zero-padded
+
+
+def frame(body: bytes) -> bytes:
+    """Length-prefix *body*."""
+    return f"{len(body):0{HEADER_LEN}d}".encode() + body
+
+
+def frame_ready(buffer: bytes) -> int:
+    """Bytes needed for the next complete frame (0 if one is ready).
+
+    Returns the *additional* byte count required, so callers can pass it to
+    ``data_available(min_bytes=...)`` without busy-looping on partials.
+    """
+    if len(buffer) < HEADER_LEN:
+        return HEADER_LEN - len(buffer)
+    body_len = int(buffer[:HEADER_LEN])
+    total = HEADER_LEN + body_len
+    return max(0, total - len(buffer))
+
+
+def peel_frame(buffer: bytes) -> tuple[bytes | None, bytes]:
+    """Split off one complete frame: ``(body | None, remainder)``."""
+    if frame_ready(buffer) != 0:
+        return None, buffer
+    body_len = int(buffer[:HEADER_LEN])
+    body = buffer[HEADER_LEN : HEADER_LEN + body_len]
+    return body, buffer[HEADER_LEN + body_len :]
+
+
+def encode_body(obj: Any) -> bytes:
+    """Encode a python-literal message (tuples/lists/dicts/str/int/bytes)."""
+    return repr(obj).encode()
+
+
+def decode_body(body: bytes) -> Any:
+    return ast.literal_eval(body.decode())

@@ -1,0 +1,147 @@
+"""Web-server workloads: Lighttpd, Node and DJCMS equivalents (paper §VI).
+
+All three are request/response servers whose responses are deterministic
+functions of the request id — which is exactly what lets the validation
+experiments compare output against a golden copy, as the paper does.  They
+differ in the knobs that drive checkpoint load:
+
+* **Lighttpd** — 4 worker processes, CPU-heavy PHP image watermarking
+  (~3 ms/request), moderate dirty pages, moderate client count.
+* **Node** — single process/thread, cheap requests, *128 clients to reach
+  saturation* — the large socket count is why Node has the highest stop
+  time in Table III (~13 ms of socket-state collection).
+* **DJCMS** — three processes (nginx, Python, MySQL), very heavy
+  requests against the admin dashboard, large per-request dirty footprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING, Callable
+
+from repro.container.spec import ContainerSpec, ProcessSpec
+from repro.workloads import protocol
+from repro.workloads.base import ClientStats, ServerWorkload
+from repro.workloads.clients import ClosedLoopClients
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.container.runtime import Container
+    from repro.net.world import World
+
+__all__ = ["WebServer", "web_response"]
+
+
+def web_response(name: str, request_id: int, length: int) -> bytes:
+    """The golden-copy response body for request *request_id*."""
+    seed = hashlib.sha256(f"{name}:{request_id}".encode()).hexdigest()
+    unit = f"<p>{name} page {request_id} {seed}</p>"
+    reps = length // len(unit) + 1
+    return (unit * reps)[:length].encode()
+
+
+class WebServer(ServerWorkload):
+    """Generic multi-process web server."""
+
+    port = 8080
+
+    def __init__(
+        self,
+        name: str,
+        n_processes: int = 1,
+        threads_per_process: int = 1,
+        n_clients: int = 16,
+        cpu_per_request_us: int = 1000,
+        dirty_pages_per_request: int = 20,
+        response_len: int = 8192,
+        heap_pages: int = 20_000,
+        resident_pages: int = 12_000,
+        mapped_files: int = 45,
+    ) -> None:
+        self.name = name
+        self.n_processes = n_processes
+        self.threads_per_process = threads_per_process
+        self.n_clients = n_clients
+        self.cpu_per_request_us = cpu_per_request_us
+        self.dirty_pages_per_request = dirty_pages_per_request
+        self.response_len = response_len
+        self.heap_pages = heap_pages
+        self.resident_pages = resident_pages
+        self.mapped_files = mapped_files
+        #: Per-process rotating write cursor (session/cache churn).
+        self._cursors: dict[int, int] = {}
+        self._cpu_jitter_counter = 0
+
+    def spec(self) -> ContainerSpec:
+        return ContainerSpec(
+            name=self.name,
+            ip=self.ip,
+            processes=[
+                ProcessSpec(
+                    comm=f"{self.name}-w{i}",
+                    n_threads=self.threads_per_process,
+                    heap_pages=self.heap_pages,
+                    n_mapped_files=self.mapped_files,
+                )
+                for i in range(self.n_processes)
+            ],
+            cgroup_attributes={"cpu.shares": 1024},
+        )
+
+    def warmup(self, world: "World", container: "Container") -> None:
+        """Touch the steady-state resident set (interpreter heaps, caches)."""
+        per_proc = self.resident_pages // self.n_processes
+        for process in container.processes:
+            heap = container.heap_vma_of(process)
+            for i in range(min(per_proc, heap.n_pages)):
+                process.mm.write(heap.start + i, b"warm")
+
+    def request_cpu_us(self, body_len: int) -> int:
+        # Real page renders / image transforms vary in cost; +/-30%
+        # deterministic jitter also prevents the output-commit batch
+        # release from locking every client into the same wave.
+        self._cpu_jitter_counter += 1
+        jitter = 0.7 + 0.6 * ((self._cpu_jitter_counter * 2654435761) % 997) / 997
+        return int(self.cpu_per_request_us * jitter)
+
+    def handle_request(self, container, process, body: bytes, outcome: dict):
+        request_id = protocol.decode_body(body)[1]
+        heap = container.heap_vma_of(process)
+        cursor = self._cursors.get(process.pid, 0)
+        span = max(1, min(self.resident_pages // self.n_processes, heap.n_pages) - 1)
+        for i in range(self.dirty_pages_per_request):
+            page = heap.start + (cursor + i) % span
+            process.mm.write(page, f"req{request_id}".encode())
+        self._cursors[process.pid] = (cursor + self.dirty_pages_per_request) % span
+        return web_response(self.name, request_id, self.response_len)
+
+    def start_clients(
+        self,
+        world: "World",
+        stats: ClientStats,
+        n_clients: int | None = None,
+        run_until_us: int | None = None,
+        n_requests_per_client: int | None = None,
+    ) -> ClosedLoopClients:
+        def make_request(i: int) -> tuple[bytes, Callable[[bytes], str | None], int]:
+            body = protocol.encode_body(("GET", i))
+            expected = web_response(self.name, i, self.response_len)
+
+            def check(response: bytes) -> str | None:
+                if response != expected:
+                    return f"response for request {i} differs from golden copy"
+                return None
+
+            return body, check, 1
+
+        clients = ClosedLoopClients(
+            world,
+            self.ip,
+            self.port,
+            make_request,
+            stats,
+            n_clients=n_clients if n_clients is not None else self.n_clients,
+            run_until_us=run_until_us,
+            n_requests_per_client=n_requests_per_client,
+        )
+        clients.start()
+        return clients

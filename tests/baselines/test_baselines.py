@@ -1,0 +1,117 @@
+"""Tests for the stock and MC baseline deployments."""
+
+from repro.baselines import McDeployment, StockDeployment
+from repro.container import ContainerSpec, ProcessSpec
+from repro.net import World
+from repro.sim import ms
+
+
+def spec(with_disk=False):
+    return ContainerSpec(
+        name="app",
+        ip="10.0.1.10",
+        processes=[ProcessSpec(comm="srv", n_threads=2, heap_pages=500, n_mapped_files=5)],
+        mounts=[("/data", "appfs")] if with_disk else [],
+    )
+
+
+class TestStock:
+    def test_container_runs_without_replication(self):
+        world = World(seed=1)
+        deployment = StockDeployment(world, spec())
+        deployment.start()
+        proc = deployment.container.processes[0]
+
+        def workload():
+            yield from deployment.container.run_slice(proc, 500)
+
+        world.engine.process(workload())
+        world.run(until=ms(10))
+        deployment.stop()
+        assert deployment.container.cgroup.read_cpuacct() == 500
+        assert not deployment.failed_over
+
+    def test_local_filesystem_created(self):
+        world = World(seed=1)
+        deployment = StockDeployment(world, spec(with_disk=True))
+        assert deployment.container.mounted_filesystems()
+
+
+class TestMc:
+    def test_epochs_record_metrics(self):
+        world = World(seed=2)
+        deployment = McDeployment(world, spec())
+        deployment.start()
+        world.run(until=ms(200))
+        deployment.stop()
+        assert deployment.metrics.n_epochs >= 4
+        assert all(e.stop_us > 0 for e in deployment.metrics.epochs)
+
+    def test_vm_level_dirty_tracking_is_wrprotect(self):
+        world = World(seed=2)
+        deployment = McDeployment(world, spec())
+        proc = deployment.container.processes[0]
+        assert proc.mm.tracking_mode == "wrprotect"
+
+    def test_guest_kernel_pages_added_to_dirty(self):
+        world = World(seed=2)
+        deployment = McDeployment(world, spec(), guest_kernel_dirty_per_epoch=100)
+        container = deployment.container
+        proc = container.processes[0]
+        deployment.start()
+
+        def workload():
+            heap = container.heap_vma
+            step = 0
+            while world.now < ms(300) and not container.dead:
+                def mutate(s=step):
+                    proc.mm.write(heap.start + s % 50, b"x")
+                try:
+                    yield from container.run_slice(proc, 400, mutate=mutate)
+                except Exception:
+                    return
+                step += 1
+
+        world.engine.process(workload())
+        world.run(until=ms(300))
+        deployment.stop()
+        steady = deployment.metrics.steady_epochs()
+        # App dirties ~50 distinct pages; the rest is guest-kernel pages.
+        assert all(e.dirty_pages > 50 for e in steady)
+
+    def test_cpu_tax_slows_slices(self):
+        def run_with(tax):
+            world = World(seed=2)
+            deployment = McDeployment(world, spec(), cpu_tax=tax)
+            proc = deployment.container.processes[0]
+            done = []
+
+            def workload():
+                for _ in range(10):
+                    yield from deployment.container.run_slice(proc, 1000)
+                done.append(world.now)
+
+            world.engine.process(workload())
+            world.run(until=ms(100))
+            return done[0]
+
+        assert run_with(0.5) > run_with(0.0) * 1.3
+
+    def test_output_commit_machinery_attached(self):
+        world = World(seed=2)
+        deployment = McDeployment(world, spec())
+        deployment.start()
+        world.run(until=ms(200))
+        deployment.stop()
+        # The egress plug is engaged and epochs produce barrier/ack flow.
+        assert deployment.container.veth.egress_plug.plugged
+        assert deployment.netbuffer.acked_epoch >= 0
+        assert deployment.netbuffer.audit_output_commit() == []
+
+    def test_backup_acks_cost_backup_cpu(self):
+        world = World(seed=2)
+        deployment = McDeployment(world, spec())
+        deployment.start()
+        world.run(until=ms(300))
+        deployment.stop()
+        assert deployment.metrics.backup_cpu_us > 0

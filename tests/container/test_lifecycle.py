@@ -1,0 +1,138 @@
+"""Container lifecycle edge cases: kill, destroy, multi-process helpers."""
+
+import pytest
+
+from repro.container import ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.kernel.errors import KernelError
+from repro.net import World
+from repro.sim import ms
+
+
+@pytest.fixture
+def world():
+    return World(seed=13)
+
+
+@pytest.fixture
+def runtime(world):
+    return ContainerRuntime(world.primary.kernel, world.bridge)
+
+
+def multi_spec():
+    return ContainerSpec(
+        name="multi",
+        ip="10.0.1.60",
+        processes=[ProcessSpec(comm=f"w{i}", n_threads=2, heap_pages=64) for i in range(3)],
+    )
+
+
+def test_heap_vma_of_per_process(runtime):
+    c = runtime.create(multi_spec())
+    heaps = {c.heap_vma_of(p).start for p in c.processes}
+    assert len(heaps) == 1 or len(heaps) == 3  # distinct address spaces
+    for p in c.processes:
+        assert c.heap_vma_of(p).kind == "heap"
+
+
+def test_kill_releases_blocked_slices(world, runtime):
+    c = runtime.create(multi_spec())
+    proc = c.processes[0]
+    outcomes = []
+
+    def worker():
+        try:
+            while True:
+                yield from c.run_slice(proc, 100)
+        except KernelError:
+            outcomes.append("killed")
+
+    def freezer_then_kill():
+        yield from c.freeze()
+        yield world.engine.timeout(ms(5))
+        c.kill()
+
+    world.engine.process(worker())
+    world.engine.process(freezer_then_kill())
+    world.run(until=ms(50))
+    assert outcomes == ["killed"]
+    assert c.dead and c.veth.cable_cut
+
+
+def test_kill_is_effective_mid_slice(world, runtime):
+    c = runtime.create(multi_spec())
+    proc = c.processes[0]
+    served = []
+
+    def worker():
+        try:
+            while True:
+                yield from c.run_slice(proc, 100, mutate=lambda: served.append(world.now))
+        except KernelError:
+            return
+
+    def killer():
+        yield world.engine.timeout(550)
+        c.kill()
+
+    world.engine.process(worker())
+    world.engine.process(killer())
+    world.run(until=ms(20))
+    # Mutations stop at/after the kill; nothing applied afterwards.
+    assert served and served[-1] <= 600
+
+
+def test_destroy_after_kill_is_safe(world, runtime):
+    c = runtime.create(multi_spec())
+    c.kill()
+    c.destroy()
+    assert c.dead
+    assert all(p.exited for p in c.processes)
+
+
+def test_runtime_destroy_by_name(world, runtime):
+    runtime.create(multi_spec())
+    runtime.destroy("multi")
+    assert "multi" not in runtime.containers
+    runtime.destroy("multi")  # idempotent
+
+
+def test_mounted_filesystems_skips_unknown_sources(world, runtime):
+    spec = ContainerSpec(
+        name="m2", ip="10.0.1.61",
+        processes=[ProcessSpec(comm="a")],
+        mounts=[("/ghost", "does-not-exist")],
+    )
+    c = runtime.create(spec)
+    assert c.mounted_filesystems() == []
+
+
+def test_freeze_counts_queued_cpu_waiters_correctly(world, runtime):
+    """Slices queued on the per-process CPU semaphore when the freeze hits
+    must not run during the frozen window."""
+    c = runtime.create(ContainerSpec(
+        name="m3", ip="10.0.1.62",
+        processes=[ProcessSpec(comm="a", n_threads=1)],
+    ))
+    proc = c.processes[0]
+    ran_at = []
+
+    def worker(tag):
+        yield from c.run_slice(proc, 400, mutate=lambda: ran_at.append((tag, world.now)))
+
+    frozen_window = []
+
+    def freezer():
+        yield world.engine.timeout(100)
+        yield from c.freeze()
+        frozen_window.append(world.now)
+        yield world.engine.timeout(ms(10))
+        yield from c.thaw()
+        frozen_window.append(world.now)
+
+    for tag in range(4):
+        world.engine.process(worker(tag))
+    world.engine.process(freezer())
+    world.run(until=ms(60))
+    start, end = frozen_window
+    for _tag, t in ran_at:
+        assert not (start < t <= end - 1), (t, start, end)

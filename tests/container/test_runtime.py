@@ -1,0 +1,254 @@
+"""Tests for the container runtime: creation, freezer, execution gate."""
+
+import pytest
+
+from repro.container import ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.kernel.errors import KernelError
+from repro.kernel.task import TaskState
+from repro.net import World
+from repro.sim import ms
+
+
+@pytest.fixture
+def world():
+    return World(seed=7)
+
+
+@pytest.fixture
+def runtime(world):
+    return ContainerRuntime(world.primary.kernel, world.bridge)
+
+
+def make_spec(**kw):
+    defaults = dict(
+        name="app",
+        ip="10.0.1.10",
+        processes=[ProcessSpec(comm="server", n_threads=4, heap_pages=1000, n_mapped_files=10)],
+        cgroup_attributes={"cpu.shares": 1024},
+    )
+    defaults.update(kw)
+    return ContainerSpec(**defaults)
+
+
+def test_create_materializes_processes_and_threads(runtime):
+    c = runtime.create(make_spec())
+    assert len(c.processes) == 1
+    assert c.processes[0].n_threads == 4
+    assert c.n_threads == 4
+
+
+def test_create_duplicate_rejected(runtime):
+    runtime.create(make_spec())
+    with pytest.raises(KernelError):
+        runtime.create(make_spec())
+
+
+def test_memory_layout_has_heap_stack_and_libs(runtime):
+    c = runtime.create(make_spec())
+    mm = c.processes[0].mm
+    kinds = {v.kind for v in mm.vmas}
+    assert {"heap", "stack", "file"} <= kinds
+    assert len(mm.mapped_files) == 10
+    assert c.heap_vma.n_pages == 1000
+
+
+def test_container_attached_to_bridge(world, runtime):
+    c = runtime.create(make_spec())
+    assert world.bridge.arp_lookup("10.0.1.10") is not None
+    assert c.stack.ip == "10.0.1.10"
+
+
+def test_cgroup_attributes_and_ftrace_traces(world, runtime):
+    c = runtime.create(make_spec(mounts=[("/data", "datafs")]))
+    assert c.cgroup.attributes["cpu.shares"] == 1024
+    counts = world.primary.kernel.ftrace.call_counts
+    assert counts["cgroup_write"] == 1
+    assert counts["do_mount"] == 1
+    assert counts["do_mmap_file"] == 10
+
+
+def test_run_slice_charges_time_and_cpu(world, runtime):
+    c = runtime.create(make_spec())
+    proc = c.processes[0]
+
+    def workload():
+        yield from c.run_slice(proc, 500)
+
+    world.engine.process(workload())
+    world.run()
+    assert world.now == 500
+    assert c.cgroup.read_cpuacct() == 500
+    assert proc.cpu_time_us == 500
+
+
+def test_run_slice_includes_fault_time(world, runtime):
+    c = runtime.create(make_spec())
+    proc = c.processes[0]
+    proc.mm.start_tracking("soft_dirty")
+    heap = c.heap_vma
+
+    def workload():
+        for i in range(10):
+            proc.mm.write(heap.start + i, b"w")
+        yield from c.run_slice(proc, 100)
+
+    world.engine.process(workload())
+    world.run()
+    fault_us = (10 * world.costs.soft_dirty_fault_ns) // 1000
+    assert world.now == 100 + fault_us
+    assert c.cgroup.read_cpuacct() == 100 + fault_us
+
+
+def test_freeze_blocks_run_slice(world, runtime):
+    c = runtime.create(make_spec())
+    proc = c.processes[0]
+    slices = []
+
+    def workload():
+        while len(slices) < 3:
+            yield from c.run_slice(proc, 100)
+            slices.append(world.now)
+
+    def freezer():
+        yield world.engine.timeout(150)
+        yield from c.freeze(poll=True)
+        yield world.engine.timeout(ms(5))
+        yield from c.thaw()
+
+    world.engine.process(workload())
+    world.engine.process(freezer())
+    world.run()
+    # First slice at 100, second at 200 (started before freeze completed or
+    # queued), third only after thaw (>5 ms later).
+    assert slices[0] == 100
+    assert any(t > ms(5) for t in slices)
+
+
+def test_freeze_waits_for_inflight_slice(world, runtime):
+    c = runtime.create(make_spec())
+    proc = c.processes[0]
+
+    def workload():
+        yield from c.run_slice(proc, 1000)
+
+    freeze_done = []
+
+    def freezer():
+        yield world.engine.timeout(100)  # freeze mid-slice
+        took = yield from c.freeze(poll=True)
+        freeze_done.append((world.now, took))
+
+    world.engine.process(workload())
+    world.engine.process(freezer())
+    world.run()
+    done_at, took = freeze_done[0]
+    assert done_at >= 1000  # waited for the in-flight slice
+    assert took >= 900
+    assert all(t.state is TaskState.FROZEN for t in c.tasks)
+
+
+def test_freeze_unoptimized_sleeps_100ms(world, runtime):
+    c = runtime.create(make_spec())
+    durations = []
+
+    def freezer():
+        took = yield from c.freeze(poll=False)
+        durations.append(took)
+
+    world.engine.process(freezer())
+    world.run()
+    assert durations[0] >= world.costs.freeze_sleep_unoptimized
+
+
+def test_freeze_optimized_is_fast_when_idle(world, runtime):
+    c = runtime.create(make_spec())
+    durations = []
+
+    def freezer():
+        took = yield from c.freeze(poll=True)
+        durations.append(took)
+
+    world.engine.process(freezer())
+    world.run()
+    assert durations[0] < ms(1)
+
+
+def test_double_freeze_rejected(world, runtime):
+    c = runtime.create(make_spec())
+
+    def freezer():
+        yield from c.freeze()
+        with pytest.raises(KernelError):
+            yield from c.freeze()
+
+    world.engine.process(freezer())
+    world.run()
+
+
+def test_thaw_without_freeze_rejected(world, runtime):
+    c = runtime.create(make_spec())
+
+    def proc():
+        with pytest.raises(KernelError):
+            yield from c.thaw()
+
+    world.engine.process(proc())
+    world.run()
+
+
+def test_frozen_time_accounting(world, runtime):
+    c = runtime.create(make_spec())
+
+    def cycle():
+        yield from c.freeze()
+        yield world.engine.timeout(ms(10))
+        yield from c.thaw()
+
+    world.engine.process(cycle())
+    world.run()
+    assert c.total_frozen_us >= ms(10)
+
+
+def test_tcp_stack_marks_frozen(world, runtime):
+    c = runtime.create(make_spec())
+
+    def cycle():
+        yield from c.freeze()
+        assert c.stack.frozen
+        yield from c.thaw()
+        assert not c.stack.frozen
+
+    world.engine.process(cycle())
+    world.run()
+
+
+def test_keepalive_bumps_cpuacct(world, runtime):
+    c = runtime.create(make_spec())
+    c.start_keepalive()
+    world.run(until=ms(100))
+    usage = c.cgroup.read_cpuacct()
+    assert usage >= 3  # one tick per 30 ms
+    c.destroy()
+
+
+def test_destroy_detaches_and_kills(world, runtime):
+    c = runtime.create(make_spec())
+    c.destroy()
+    assert c.dead
+    assert all(p.exited for p in c.processes)
+    # Traffic to the container's IP now drops at the bridge.
+    assert c.veth.bridge is None
+
+
+def test_mutation_wrappers_fire_ftrace(world, runtime):
+    c = runtime.create(make_spec())
+    counts = world.primary.kernel.ftrace.call_counts
+    c.set_hostname("newname")
+    assert counts["sethostname"] == 1
+    c.add_mount("/extra", "extrafs")
+    assert counts["do_mount"] == 1
+    c.set_cgroup_attribute("cpu.weight", 50)
+    assert counts["cgroup_write"] == 2  # one from spec, one now
+    c.mmap_file(c.processes[0], "/data/blob", 16)
+    assert counts["do_mmap_file"] == 11
+    assert c.namespaces.version >= 3

@@ -1,0 +1,48 @@
+"""Tests for container/process specifications."""
+
+from repro.container import ContainerSpec, ProcessSpec
+
+
+def test_total_threads_sums_processes():
+    spec = ContainerSpec(
+        name="c",
+        ip="10.0.0.1",
+        processes=[
+            ProcessSpec(comm="a", n_threads=4),
+            ProcessSpec(comm="b", n_threads=2),
+            ProcessSpec(comm="c"),
+        ],
+    )
+    assert spec.total_threads == 7
+
+
+def test_defaults_are_sane():
+    pspec = ProcessSpec(comm="app")
+    assert pspec.n_threads == 1
+    assert pspec.heap_pages > 0
+    assert pspec.n_mapped_files > 0
+    spec = ContainerSpec(name="c", ip="10.0.0.1")
+    assert spec.mounts == []
+    assert spec.cgroup_attributes == {}
+    assert spec.n_cores == 4
+
+
+def test_specs_are_plain_data():
+    """Specs must survive dataclass asdict round-trips (image files)."""
+    from dataclasses import asdict
+
+    spec = ContainerSpec(
+        name="c", ip="10.0.0.1",
+        processes=[ProcessSpec(comm="a", n_threads=2)],
+        mounts=[("/data", "fs")],
+        cgroup_attributes={"cpu.shares": 99},
+    )
+    d = asdict(spec)
+    rebuilt = ContainerSpec(
+        name=d["name"], ip=d["ip"],
+        processes=[ProcessSpec(**p) for p in d["processes"]],
+        mounts=[tuple(m) for m in d["mounts"]],
+        cgroup_attributes=d["cgroup_attributes"],
+        n_cores=d["n_cores"],
+    )
+    assert rebuilt == spec

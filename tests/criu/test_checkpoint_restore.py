@@ -1,0 +1,244 @@
+"""End-to-end checkpoint/restore tests over the simulated kernel."""
+
+import pytest
+
+from repro.container import ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.criu import CheckpointEngine, CriuConfig, RestoreEngine
+from repro.criu.restore import FullState
+from repro.kernel.errors import KernelError
+from repro.net import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=11)
+
+
+def make_container(world, host=None, name="app", with_fs=True, n_threads=4):
+    host = host or world.primary
+    runtime = ContainerRuntime(host.kernel, world.bridge)
+    mounts = []
+    if with_fs:
+        if "vdb" not in host.kernel.block_devices:
+            host.kernel.add_block_device("vdb")
+            host.kernel.mkfs("vdb", "datafs")
+        mounts = [("/data", "datafs")]
+    spec = ContainerSpec(
+        name=name,
+        ip="10.0.1.10",
+        processes=[
+            ProcessSpec(comm="srv", n_threads=n_threads, heap_pages=2000, n_mapped_files=12)
+        ],
+        mounts=mounts,
+        cgroup_attributes={"cpu.shares": 512},
+    )
+    return runtime, runtime.create(spec)
+
+
+def run_gen(world, gen):
+    """Run a generator coroutine to completion, returning its value."""
+    proc = world.engine.process(gen)
+    return world.run(until=proc)
+
+
+def checkpoint_frozen(world, container, engine, incremental=True):
+    def driver():
+        yield from container.freeze()
+        image = yield from engine.checkpoint(container, incremental=incremental)
+        yield from container.thaw()
+        return image
+
+    return run_gen(world, driver())
+
+
+def test_checkpoint_requires_frozen_container(world):
+    _rt, container = make_container(world)
+    engine = CheckpointEngine(world.primary.kernel)
+
+    def driver():
+        with pytest.raises(KernelError, match="freeze"):
+            yield from engine.checkpoint(container)
+        yield world.engine.timeout(0)
+
+    run_gen(world, driver())
+
+
+def test_full_checkpoint_captures_memory(world):
+    _rt, container = make_container(world)
+    proc = container.processes[0]
+    heap = container.heap_vma
+    proc.mm.write(heap.start + 3, b"payload-3")
+    proc.mm.write(heap.start + 9, b"payload-9")
+
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine, incremental=False)
+    pimage = image.processes[0]
+    assert pimage.pages[heap.start + 3] == b"payload-3"
+    assert pimage.pages[heap.start + 9] == b"payload-9"
+    assert pimage.page_count == 2
+    assert len(pimage.threads) == 4
+    assert not image.incremental
+
+
+def test_incremental_checkpoint_carries_only_dirty(world):
+    _rt, container = make_container(world)
+    proc = container.processes[0]
+    heap = container.heap_vma
+    engine = CheckpointEngine(world.primary.kernel)
+
+    proc.mm.write(heap.start, b"epoch0")
+    checkpoint_frozen(world, container, engine, incremental=False)
+
+    proc.mm.write(heap.start + 1, b"epoch1")
+    image2 = checkpoint_frozen(world, container, engine, incremental=True)
+    assert set(image2.processes[0].pages) == {heap.start + 1}
+    assert image2.epoch == 2
+
+
+def test_incremental_without_prior_full_captures_everything(world):
+    _rt, container = make_container(world)
+    proc = container.processes[0]
+    heap = container.heap_vma
+    proc.mm.write(heap.start, b"x")
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine, incremental=True)
+    assert image.processes[0].page_count == 1  # all resident pages
+
+
+def test_checkpoint_captures_sockets(world):
+    _rt, container = make_container(world)
+    listener = container.stack.socket()
+    listener.listen(6379)
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine)
+    kinds = [s["kind"] for s in image.sockets]
+    assert kinds == ["listener"]
+    assert image.sockets[0]["port"] == 6379
+
+
+def test_checkpoint_captures_fs_cache(world):
+    _rt, container = make_container(world)
+    fs = container.mounted_filesystems()[0]
+    fs.create("/data/file")
+    fs.write("/data/file", 0, b"persisted")
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine)
+    assert any(path == "/data/file" for path, _idx, _c in image.fs_page_entries)
+    # Next checkpoint: DNC cleared, no fs entries.
+    image2 = checkpoint_frozen(world, container, engine)
+    assert image2.fs_page_entries == []
+
+
+def test_nas_flush_mode_commits_to_disk_instead(world):
+    _rt, container = make_container(world)
+    fs = container.mounted_filesystems()[0]
+    fs.create("/data/file")
+    fs.write("/data/file", 0, b"flushed")
+    engine = CheckpointEngine(world.primary.kernel, CriuConfig.stock())
+    image = checkpoint_frozen(world, container, engine)
+    assert image.fs_page_entries == []
+    assert fs.dirty_page_count() == 0  # flushed to the (shared) device
+
+
+def test_smaps_slower_than_netlink(world):
+    """VMA collection cost: SSV-D deficiency (1)."""
+
+    def time_with(config):
+        w = World(seed=11)
+        _rt, container = make_container(w, name="app")
+        engine = CheckpointEngine(w.primary.kernel, config)
+
+        def driver():
+            yield from container.freeze()
+            start = w.engine.now
+            yield from engine.checkpoint(container, incremental=False)
+            return w.engine.now - start
+
+        return run_gen(w, driver())
+
+    slow = time_with(CriuConfig.nilicon().with_(vma_source="smaps"))
+    fast = time_with(CriuConfig.nilicon())
+    assert slow > fast
+
+
+def test_pipe_transport_slower_than_shm(world):
+    def time_with(config):
+        w = World(seed=11)
+        _rt, container = make_container(w, name="app")
+        proc = container.processes[0]
+        heap = container.heap_vma
+        for i in range(500):
+            proc.mm.write(heap.start + i, b"d")
+        engine = CheckpointEngine(w.primary.kernel, config)
+
+        def driver():
+            yield from container.freeze()
+            start = w.engine.now
+            yield from engine.checkpoint(container, incremental=False)
+            return w.engine.now - start
+
+        return run_gen(w, driver())
+
+    slow = time_with(CriuConfig.nilicon().with_(parasite_transport="pipe"))
+    fast = time_with(CriuConfig.nilicon())
+    assert slow > fast
+
+
+def test_image_size_dominated_by_pages(world):
+    _rt, container = make_container(world)
+    proc = container.processes[0]
+    heap = container.heap_vma
+    for i in range(1000):
+        proc.mm.write(heap.start + i, b"bulk")
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine, incremental=False)
+    page_bytes = image.dirty_page_count * 4096
+    assert page_bytes / image.size_bytes() > 0.85  # paper: 85%-95%+
+
+
+def test_restore_roundtrip_memory_and_threads(world):
+    _rt, container = make_container(world)
+    proc = container.processes[0]
+    heap = container.heap_vma
+    proc.mm.write(heap.start + 7, b"survives")
+    proc.tasks[1].registers["rip"] = 0xDEAD
+    proc.tasks[1].signal_mask = 0xFF
+
+    engine = CheckpointEngine(world.primary.kernel)
+    image = checkpoint_frozen(world, container, engine, incremental=False)
+
+    backup_rt = ContainerRuntime(world.backup.kernel, world.bridge)
+    world.backup.kernel.add_block_device("vdb")
+    world.backup.kernel.mkfs("vdb", "datafs")
+    restore = RestoreEngine(world.backup.kernel)
+    state = FullState(
+        spec=container.spec,
+        processes=[
+            {
+                "comm": p.comm,
+                "vmas": p.vmas,
+                "pages": p.pages,
+                "threads": p.threads,
+                "fd_entries": p.fd_entries,
+            }
+            for p in image.processes
+        ],
+        sockets=image.sockets,
+        namespaces=image.namespaces,
+        cgroup=image.cgroup,
+        fs_inode_entries=image.fs_inode_entries,
+        fs_page_entries=image.fs_page_entries,
+    )
+
+    def driver():
+        restored = yield from restore.restore(backup_rt, state)
+        return restored
+
+    restored = run_gen(world, driver())
+    rproc = restored.processes[0]
+    assert rproc.mm.read(heap.start + 7) == b"survives"
+    assert rproc.tasks[1].registers["rip"] == 0xDEAD
+    assert rproc.tasks[1].signal_mask == 0xFF
+    assert rproc.n_threads == 4
+    assert restored.veth.bridge is None  # still detached (input blocked)
+    assert restored.cgroup.attributes["cpu.shares"] == 512

@@ -1,0 +1,123 @@
+"""Focused tests for the state collectors' cost/content contracts."""
+
+import pytest
+
+from repro.container import ContainerRuntime, ContainerSpec, ProcessSpec
+from repro.criu.collect import StateCollector
+from repro.criu.config import CriuConfig
+from repro.net import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=17)
+
+
+@pytest.fixture
+def container(world):
+    runtime = ContainerRuntime(world.primary.kernel, world.bridge)
+    return runtime.create(
+        ContainerSpec(
+            name="cc", ip="10.0.1.70",
+            processes=[ProcessSpec(comm="srv", n_threads=2, heap_pages=200,
+                                   n_mapped_files=7)],
+        )
+    )
+
+
+def run(world, gen):
+    return world.run(until=world.engine.process(gen))
+
+
+def test_socket_collection_cost_scales_with_count(world, container):
+    collector = StateCollector(world.primary.kernel, CriuConfig.nilicon())
+    costs = world.costs
+
+    def with_n_listeners(n):
+        w = World(seed=17)
+        rt = ContainerRuntime(w.primary.kernel, w.bridge)
+        c = rt.create(ContainerSpec(name="cc", ip="10.0.1.70",
+                                    processes=[ProcessSpec(comm="srv")]))
+        for i in range(n):
+            sock = c.stack.socket()
+            sock.listen(1000 + i)
+        col = StateCollector(w.primary.kernel, CriuConfig.nilicon())
+
+        def driver():
+            start = w.engine.now
+            out = yield from col.collect_sockets(c.stack)
+            return len(out), w.engine.now - start
+
+        return run(w, driver())
+
+    n2, t2 = with_n_listeners(2)
+    n20, t20 = with_n_listeners(20)
+    assert (n2, n20) == (2, 20)
+    assert t20 - t2 == 18 * costs.collect_socket_per_socket
+    del collector
+
+
+def test_collect_sockets_zero_is_free(world, container):
+    collector = StateCollector(world.primary.kernel, CriuConfig.nilicon())
+
+    def driver():
+        start = world.engine.now
+        out = yield from collector.collect_sockets(container.stack)
+        return out, world.engine.now - start
+
+    out, took = run(world, driver())
+    assert out == [] and took == 0
+
+
+def test_infrequent_collection_includes_all_components(world, container):
+    collector = StateCollector(world.primary.kernel, CriuConfig.nilicon())
+    container.add_mount("/x", "xfs")
+
+    def driver():
+        return (yield from collector.collect_infrequent(container))
+
+    components = run(world, driver())
+    assert components["namespaces"]["mounts"][0]["mountpoint"] == "/x"
+    assert components["cgroup"]["name"].endswith("cc")
+    assert len(components["mapped_file_stats"]) == 7
+
+
+def test_fd_table_collection_describes_files(world, container):
+    from repro.kernel.fs import OpenFile, Inode
+
+    process = container.processes[0]
+    inode = Inode(path="/etc/conf")
+    process.install_fd("file", OpenFile(inode=inode, offset=5))
+    collector = StateCollector(world.primary.kernel, CriuConfig.nilicon())
+
+    def driver():
+        return (yield from collector.collect_fd_table(process))
+
+    entries = run(world, driver())
+    assert entries == [{"fd": 3, "kind": "file", "flags": 0,
+                        "path": "/etc/conf", "offset": 5}]
+
+
+def test_memory_collection_full_vs_incremental(world, container):
+    from repro.kernel.parasite import ParasiteChannel
+    from repro.kernel.task import TaskState
+
+    process = container.processes[0]
+    heap = container.heap_vma
+    for i in range(10):
+        process.mm.write(heap.start + i, b"x")
+    for task in process.tasks:
+        task.state = TaskState.FROZEN
+    collector = StateCollector(world.primary.kernel, CriuConfig.nilicon())
+
+    def driver():
+        parasite = ParasiteChannel(world.engine, world.costs, process)
+        yield from parasite.inject()
+        vmas, full = yield from collector.collect_memory(process, parasite, incremental=False)
+        process.mm.write(heap.start + 99, b"new")
+        vmas2, incr = yield from collector.collect_memory(process, parasite, incremental=True)
+        return full, incr
+
+    full, incr = run(world, driver())
+    assert len(full) == 10
+    assert set(incr) == {heap.start + 99}

@@ -1,0 +1,124 @@
+"""Tests for the CRIU image-file format, including round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.container.spec import ContainerSpec, ProcessSpec
+from repro.criu.imagefiles import read_image_files, write_image_files
+from repro.criu.restore import FullState
+
+
+def make_state(pages=None, sockets=None):
+    spec = ContainerSpec(
+        name="imgtest",
+        ip="10.0.1.44",
+        processes=[ProcessSpec(comm="app", n_threads=2, heap_pages=128)],
+        mounts=[("/data", "datafs")],
+        cgroup_attributes={"cpu.shares": 512},
+    )
+    return FullState(
+        spec=spec,
+        processes=[
+            {
+                "comm": "app",
+                "vmas": [{"start": 0, "n_pages": 128, "prot": "rw-", "kind": "heap",
+                          "file_path": None, "file_offset": 0, "name": "[heap]"}],
+                "pages": pages if pages is not None else {3: b"three", 9: b"nine"},
+                "threads": [
+                    {"name": "app", "tid": 1, "registers": {"rip": 7}, "signal_mask": 0,
+                     "pending_signals": [], "sched_policy": "SCHED_OTHER",
+                     "sched_priority": 0, "timers": []},
+                    {"name": "app-t1", "tid": 2, "registers": {"rip": 9}, "signal_mask": 1,
+                     "pending_signals": [3], "sched_policy": "SCHED_OTHER",
+                     "sched_priority": 0, "timers": []},
+                ],
+                "fd_entries": [{"fd": 3, "kind": "socket", "flags": 0}],
+            }
+        ],
+        sockets=sockets if sockets is not None else [{"kind": "listener", "port": 80}],
+        namespaces={"name": "imgtest", "uts_hostname": "imgtest", "mounts": []},
+        cgroup={"name": "cg", "attributes": {"cpu.shares": 512}, "version": 2},
+        fs_inode_entries=[{"path": "/data/f", "ino": 5, "mode": 0o644, "uid": 0,
+                           "gid": 0, "size": 10, "version": 3}],
+        fs_page_entries=[("/data/f", 0, b"filedata!!"), ("/data/f", 1, None)],
+    )
+
+
+def test_roundtrip_preserves_everything():
+    state = make_state()
+    files = write_image_files(state)
+    parsed = read_image_files(files)
+    assert parsed.spec == state.spec
+    assert parsed.processes == state.processes
+    assert parsed.sockets == state.sockets
+    assert parsed.namespaces == state.namespaces
+    assert parsed.cgroup == state.cgroup
+    assert parsed.fs_inode_entries == state.fs_inode_entries
+    assert parsed.fs_page_entries == state.fs_page_entries
+
+
+def test_image_layout_matches_criu_conventions():
+    files = write_image_files(make_state())
+    for name in ("inventory.img", "pstree.img", "core-0.img", "mm-0.img",
+                 "pagemap-0.img", "pages-0.img", "fdinfo-0.img", "sk-tcp.img",
+                 "netns.img", "cgroup.img", "fs-cache.img"):
+        assert name in files, name
+    assert all(blob.startswith(b"NLCN") for blob in files.values())
+
+
+def test_corrupt_magic_rejected():
+    files = write_image_files(make_state())
+    files["pstree.img"] = b"XXXX" + files["pstree.img"][4:]
+    with pytest.raises(ValueError, match="magic"):
+        read_image_files(files)
+
+
+def test_inventory_mismatch_rejected():
+    files = write_image_files(make_state())
+    bad = write_image_files(make_state())
+    from repro.criu.imagefiles import _meta_image
+
+    files["inventory.img"] = _meta_image({"version": 1, "container": "x", "n_processes": 5})
+    with pytest.raises(ValueError, match="mismatch"):
+        read_image_files(files)
+    del bad
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pages=st.dictionaries(
+        st.integers(0, 1 << 30), st.binary(max_size=64), max_size=20
+    ),
+)
+def test_property_pages_roundtrip(pages):
+    state = make_state(pages=pages)
+    parsed = read_image_files(write_image_files(state))
+    assert parsed.processes[0]["pages"] == pages
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    queue=st.lists(
+        st.tuples(st.integers(0, 1 << 20), st.binary(min_size=1, max_size=32)),
+        max_size=5,
+    ),
+    buffered=st.binary(max_size=64),
+)
+def test_property_socket_state_roundtrip(queue, buffered):
+    sockets = [
+        {
+            "kind": "connection",
+            "repair_state": {
+                "local_ip": "10.0.1.44", "local_port": 80,
+                "remote_ip": "10.0.9.1", "remote_port": 40000,
+                "state": "established",
+                "snd_nxt": 100, "snd_una": 50, "rcv_nxt": 77,
+                "write_queue": queue, "recv_buffer": buffered,
+            },
+        }
+    ]
+    parsed = read_image_files(write_image_files(make_state(sockets=sockets)))
+    got = parsed.sockets[0]["repair_state"]
+    assert [tuple(e) for e in got["write_queue"]] == queue
+    assert got["recv_buffer"] == buffered

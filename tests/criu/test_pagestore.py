@@ -1,0 +1,120 @@
+"""Tests for the backup page stores, including dict-oracle properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.criu.pagestore import LinkedListPageStore, RadixTreePageStore
+from repro.kernel.costmodel import CostModel
+
+
+def make_stores():
+    costs = CostModel()
+    return RadixTreePageStore(costs), LinkedListPageStore(costs)
+
+
+def test_store_and_lookup_basic():
+    for store in make_stores():
+        store.begin_checkpoint()
+        store.store_page(1, 5, b"five")
+        store.store_page(1, 70000, b"high")
+        assert store.lookup(1, 5) == b"five"
+        assert store.lookup(1, 70000) == b"high"
+        assert store.lookup(1, 6) is None
+        assert store.lookup(2, 5) is None
+
+
+def test_later_checkpoint_overwrites():
+    for store in make_stores():
+        store.begin_checkpoint()
+        store.store_page(1, 5, b"v1")
+        store.begin_checkpoint()
+        store.store_page(1, 5, b"v2")
+        assert store.lookup(1, 5) == b"v2"
+        assert store.pages_of(1) == {5: b"v2"}
+
+
+def test_pages_of_merges_checkpoints():
+    for store in make_stores():
+        store.begin_checkpoint()
+        store.store_page(1, 1, b"a")
+        store.store_page(1, 2, b"b")
+        store.begin_checkpoint()
+        store.store_page(1, 2, b"b2")
+        store.store_page(1, 3, b"c")
+        assert store.pages_of(1) == {1: b"a", 2: b"b2", 3: b"c"}
+
+
+def test_pids_are_isolated():
+    for store in make_stores():
+        store.begin_checkpoint()
+        store.store_page(1, 9, b"one")
+        store.store_page(2, 9, b"two")
+        assert store.pages_of(1) == {9: b"one"}
+        assert store.pages_of(2) == {9: b"two"}
+
+
+def test_radix_cost_constant_in_history():
+    costs = CostModel()
+    store = RadixTreePageStore(costs)
+    first_costs = []
+    for _ in range(50):
+        store.begin_checkpoint()
+        first_costs.append(store.store_page(1, 42, b"x"))
+    assert len(set(first_costs)) == 1  # O(1) regardless of checkpoint count
+
+
+def test_linked_list_cost_grows_with_history():
+    """The stock-CRIU pathology NiLiCon's radix tree removes (SSV-A)."""
+    costs = CostModel()
+    store = LinkedListPageStore(costs)
+    per_ckpt_costs = []
+    for _ in range(50):
+        store.begin_checkpoint()
+        per_ckpt_costs.append(store.store_page(1, 42, b"x"))
+    assert per_ckpt_costs[-1] > per_ckpt_costs[0]
+    assert per_ckpt_costs == sorted(per_ckpt_costs)
+
+
+def test_radix_tree_allocates_real_nodes():
+    store = RadixTreePageStore(CostModel())
+    store.begin_checkpoint()
+    store.store_page(1, 0, b"low")
+    base = store.nodes_allocated
+    assert base == 4  # root + 3 interior levels
+    # A distant page index shares only the root.
+    store.store_page(1, 1 << 30, b"far")
+    assert store.nodes_allocated == base + 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=3),  # pid
+            st.integers(min_value=0, max_value=1 << 34),  # page index
+            st.binary(min_size=0, max_size=8),  # content token
+            st.booleans(),  # begin a new checkpoint first?
+        ),
+        max_size=80,
+    )
+)
+def test_property_stores_match_dict_oracle(ops):
+    """Both stores always agree with a plain {(pid, idx): content} oracle."""
+    radix, linked = make_stores()
+    oracle: dict[tuple[int, int], bytes] = {}
+    radix.begin_checkpoint()
+    linked.begin_checkpoint()
+    for pid, idx, content, new_ckpt in ops:
+        if new_ckpt:
+            radix.begin_checkpoint()
+            linked.begin_checkpoint()
+        radix.store_page(pid, idx, content)
+        linked.store_page(pid, idx, content)
+        oracle[(pid, idx)] = content
+    for pid in {1, 2, 3}:
+        expected = {idx: c for (p, idx), c in oracle.items() if p == pid}
+        assert radix.pages_of(pid) == expected
+        assert linked.pages_of(pid) == expected
+        for idx, content in expected.items():
+            assert radix.lookup(pid, idx) == content
+            assert linked.lookup(pid, idx) == content

@@ -1,0 +1,188 @@
+"""Tests for the VFS, page cache, DNC state and fgetfc."""
+
+import pytest
+
+from repro.kernel.blockdev import BlockDevice
+from repro.kernel.errors import FileSystemError
+from repro.kernel.fs import FileSystem
+
+
+@pytest.fixture
+def fs():
+    return FileSystem(BlockDevice("disk0"), name="testfs")
+
+
+def test_create_open_write_read(fs):
+    fs.create("/data/log")
+    fs.write("/data/log", 0, b"hello world")
+    assert fs.read("/data/log", 0, 11) == b"hello world"
+    assert fs.lookup("/data/log").size == 11
+
+
+def test_create_duplicate_rejected(fs):
+    fs.create("/a")
+    with pytest.raises(FileSystemError):
+        fs.create("/a")
+
+
+def test_lookup_missing_rejected(fs):
+    with pytest.raises(FileSystemError):
+        fs.lookup("/nope")
+
+
+def test_open_create_flag(fs):
+    f = fs.open("/new", create=True)
+    assert f.path == "/new"
+    assert fs.exists("/new")
+
+
+def test_write_at_offset_splices(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"aaaaaaaaaa")
+    fs.write("/f", 3, b"BBB")
+    assert fs.read("/f", 0, 10) == b"aaaBBBaaaa"
+
+
+def test_write_across_page_boundary(fs):
+    fs.create("/f")
+    data = b"x" * 5000  # spans two 4 KiB pages
+    touched = fs.write("/f", 4090, data)
+    assert touched == 3  # pages 0 (tail), 1 (full), 2 (head)
+    assert fs.read("/f", 4090, 5000) == data
+
+
+def test_read_in_sparse_hole_returns_zeros(fs):
+    fs.create("/f")
+    fs.write("/f", 8192, b"tail")
+    assert fs.read("/f", 0, 4) == b"\0\0\0\0"
+
+
+def test_read_beyond_eof_truncated(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"abc")
+    assert fs.read("/f", 0, 100) == b"abc"
+    assert fs.read("/f", 50, 10) == b""
+
+
+def test_negative_offset_rejected(fs):
+    fs.create("/f")
+    with pytest.raises(FileSystemError):
+        fs.write("/f", -1, b"x")
+
+
+def test_writeback_persists_to_device(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"persist me")
+    assert fs.dirty_page_count() == 1
+    flushed = fs.writeback()
+    assert flushed == 1
+    assert fs.dirty_page_count() == 0
+    inode = fs.lookup("/f")
+    block = inode.block_map[0]
+    assert fs.device.read_block(block).startswith(b"persist me")
+
+
+def test_writeback_limit(fs):
+    fs.create("/f")
+    for i in range(5):
+        fs.write("/f", i * 4096, b"page")
+    assert fs.writeback(limit=2) == 2
+    assert fs.dirty_page_count() == 3
+
+
+def test_read_after_writeback_comes_from_disk(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"on disk")
+    fs.writeback()
+    # Simulate cache eviction by clearing the cache dict.
+    fs._cache.clear()
+    assert fs.read("/f", 0, 7) == b"on disk"
+
+
+def test_dnc_set_on_write_cleared_by_fgetfc(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"dirty")
+    inodes, pages = fs.fgetfc()
+    assert any(m["path"] == "/f" for m in inodes)
+    assert [(p[0], p[1]) for p in pages] == [("/f", 0)]
+    # Second call: nothing new.
+    inodes2, pages2 = fs.fgetfc()
+    assert inodes2 == [] and pages2 == []
+
+
+def test_fgetfc_does_not_clear_writeback_dirty(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"x")
+    fs.fgetfc()
+    assert fs.dirty_page_count() == 1  # still needs disk writeback
+
+
+def test_writeback_does_not_clear_dnc(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"x")
+    fs.writeback()
+    _inodes, pages = fs.fgetfc()
+    assert len(pages) == 1  # flushed page still needs checkpointing
+
+
+def test_metadata_mutations_set_dnc(fs):
+    fs.create("/f")
+    fs.fgetfc()  # drain creation DNC
+    fs.chown("/f", 1000, 1000)
+    inodes, _pages = fs.fgetfc()
+    assert len(inodes) == 1
+    fs.chmod("/f", 0o600)
+    inodes, _ = fs.fgetfc()
+    assert inodes[0]["mode"] == 0o600
+    fs.truncate("/f", 0)
+    inodes, _ = fs.fgetfc()
+    assert inodes[0]["size"] == 0
+
+
+def test_truncate_drops_cache_and_blocks(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"a" * 10000)
+    fs.writeback()
+    fs.truncate("/f", 4096)
+    inode = fs.lookup("/f")
+    assert inode.size == 4096
+    assert all(p < 1 for p in inode.block_map)
+    assert fs.read("/f", 0, 4096) == b"a" * 4096
+
+
+def test_apply_fc_checkpoint_recreates_state(fs):
+    fs.create("/src")
+    fs.write("/src", 100, b"replicate")
+    fs.chown("/src", 42, 43)
+    inodes, pages = fs.fgetfc()
+
+    backup = FileSystem(BlockDevice("disk1"), name="backupfs")
+    backup.apply_fc_checkpoint(inodes, pages)
+    assert backup.file_content("/src") == fs.file_content("/src")
+    restored = backup.lookup("/src")
+    assert (restored.uid, restored.gid) == (42, 43)
+
+
+def test_logical_state_merges_cache_over_disk(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"version1")
+    fs.writeback()
+    fs.write("/f", 0, b"version2")  # cached, not yet on disk
+    assert fs.logical_state() == {"/f": b"version2"}
+
+
+def test_unlink_removes_file(fs):
+    fs.create("/f")
+    fs.write("/f", 0, b"x")
+    fs.unlink("/f")
+    assert not fs.exists("/f")
+    with pytest.raises(FileSystemError):
+        fs.read("/f", 0, 1)
+
+
+def test_flush_all_models_nas_commit(fs):
+    fs.create("/f")
+    for i in range(10):
+        fs.write("/f", i * 4096, b"p")
+    assert fs.flush_all_to_device() == 10
+    assert fs.dirty_page_count() == 0

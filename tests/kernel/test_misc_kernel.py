@@ -1,0 +1,234 @@
+"""Tests for namespaces, cgroups, ftrace, parasite, procfs and Kernel."""
+
+import pytest
+
+from repro.kernel import CostModel, Kernel, KernelError
+from repro.kernel.cgroup import Cgroup
+from repro.kernel.ftrace import FtraceRegistry
+from repro.kernel.mm import AddressSpace, Vma
+from repro.kernel.namespaces import MountEntry, NamespaceSet, NetNamespace
+from repro.kernel.parasite import ParasiteChannel
+from repro.kernel.task import Process, TaskState
+from repro.sim import Engine
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(Engine(), CostModel(), hostname="test-host")
+
+
+def make_process(costs, n_threads=2, n_pages=100):
+    mm = AddressSpace(costs)
+    mm.mmap(Vma(start=0, n_pages=n_pages, kind="heap"))
+    process = Process(comm="victim", address_space=mm)
+    for _ in range(n_threads - 1):
+        process.spawn_thread()
+    return process
+
+
+def run(engine, gen):
+    return engine.run(until=engine.process(gen))
+
+
+class TestNamespaces:
+    def test_mutations_bump_version(self):
+        ns = NamespaceSet("c1", NetNamespace(name="c1-net"))
+        v0 = ns.version
+        ns.add_mount(MountEntry(mountpoint="/data", source="fs0"))
+        assert ns.version == v0 + 1
+        ns.set_hostname("renamed")
+        assert ns.version == v0 + 2
+        ns.remove_mount("/data")
+        assert ns.version == v0 + 3
+        ns.remove_mount("/not-there")  # no-op: no bump
+        assert ns.version == v0 + 3
+
+    def test_describe_is_serializable_snapshot(self):
+        ns = NamespaceSet("c1", NetNamespace(name="c1-net"))
+        ns.add_mount(MountEntry(mountpoint="/data", source="fs0"))
+        desc = ns.describe()
+        assert desc["uts_hostname"] == "c1"
+        assert desc["mounts"][0]["mountpoint"] == "/data"
+        ns.set_hostname("changed")
+        assert desc["uts_hostname"] == "c1"  # snapshot, not live view
+
+
+class TestCgroup:
+    def test_cpuacct_accumulates(self):
+        cg = Cgroup(name="/sys/fs/cgroup/c1")
+        cg.charge_cpu(100)
+        cg.charge_cpu(50)
+        assert cg.read_cpuacct() == 150
+
+    def test_attribute_change_bumps_version_but_cpu_does_not(self):
+        cg = Cgroup(name="c1")
+        v0 = cg.version
+        cg.charge_cpu(1000)
+        assert cg.version == v0
+        cg.set_attribute("cpu.shares", 512)
+        assert cg.version == v0 + 1
+        assert cg.describe()["attributes"]["cpu.shares"] == 512
+
+
+class TestFtrace:
+    def test_hooks_receive_calls(self):
+        registry = FtraceRegistry()
+        calls = []
+        registry.register("do_mount", lambda fn, args: calls.append((fn, args)))
+        registry.trace("do_mount", "obj", "/data")
+        assert calls == [("do_mount", ("obj", "/data"))]
+        assert registry.call_counts["do_mount"] == 1
+
+    def test_unhooked_functions_still_counted(self):
+        registry = FtraceRegistry()
+        registry.trace("sethostname")
+        assert registry.call_counts["sethostname"] == 1
+
+    def test_unregister(self):
+        registry = FtraceRegistry()
+        calls = []
+        hook = lambda fn, args: calls.append(fn)  # noqa: E731
+        registry.register("dev_open", hook)
+        registry.unregister("dev_open", hook)
+        registry.trace("dev_open")
+        assert calls == []
+        assert "dev_open" not in registry.hooked_functions
+
+
+class TestParasite:
+    def test_injection_requires_frozen_process(self, kernel):
+        process = make_process(kernel.costs)
+        parasite = ParasiteChannel(kernel.engine, kernel.costs, process)
+
+        def driver():
+            with pytest.raises(KernelError, match="non-frozen"):
+                yield from parasite.inject()
+            yield kernel.charge(0)
+
+        run(kernel.engine, driver())
+
+    def test_collects_thread_states_with_cost(self, kernel):
+        process = make_process(kernel.costs, n_threads=4)
+        for task in process.tasks:
+            task.state = TaskState.FROZEN
+        parasite = ParasiteChannel(kernel.engine, kernel.costs, process)
+
+        def driver():
+            yield from parasite.inject()
+            start = kernel.engine.now
+            threads = yield from parasite.collect_thread_states()
+            elapsed = kernel.engine.now - start
+            return threads, elapsed
+
+        threads, elapsed = run(kernel.engine, driver())
+        assert len(threads) == 4
+        assert elapsed == kernel.costs.thread_collection(4)
+
+    def test_pipe_transport_costs_more_than_shm(self, kernel):
+        def time_read(transport):
+            process = make_process(kernel.costs)
+            for task in process.tasks:
+                task.state = TaskState.FROZEN
+            for i in range(50):
+                process.mm.write(i, b"x")
+            parasite = ParasiteChannel(kernel.engine, kernel.costs, process, transport)
+
+            def driver():
+                yield from parasite.inject()
+                start = kernel.engine.now
+                pages = yield from parasite.read_pages(range(50))
+                assert len(pages) == 50
+                return kernel.engine.now - start
+
+            return run(kernel.engine, driver())
+
+        assert time_read("pipe") > time_read("shm")
+
+    def test_operations_require_injection(self, kernel):
+        process = make_process(kernel.costs)
+        for task in process.tasks:
+            task.state = TaskState.FROZEN
+        parasite = ParasiteChannel(kernel.engine, kernel.costs, process)
+
+        def driver():
+            with pytest.raises(KernelError, match="not injected"):
+                yield from parasite.collect_thread_states()
+            yield kernel.charge(0)
+
+        run(kernel.engine, driver())
+
+
+class TestProcFs:
+    def test_smaps_costs_more_than_netlink(self, kernel):
+        process = make_process(kernel.costs)
+        process.mm.mmap(Vma(start=1000, n_pages=4, kind="file", file_path="/lib/a.so"))
+
+        def time_source(fn):
+            def driver():
+                start = kernel.engine.now
+                vmas = yield from fn(process)
+                return len(vmas), kernel.engine.now - start
+
+            return run(kernel.engine, driver())
+
+        n1, slow = time_source(kernel.procfs.smaps_vmas)
+        n2, fast = time_source(kernel.procfs.netlink_vmas)
+        assert n1 == n2 == 2
+        assert slow > fast
+
+    def test_pagemap_after_clear_refs(self, kernel):
+        process = make_process(kernel.costs)
+
+        def driver():
+            yield from kernel.procfs.clear_refs(process)
+            process.mm.write(3, b"dirty")
+            dirty = yield from kernel.procfs.pagemap_dirty(process)
+            return dirty
+
+        assert run(kernel.engine, driver()) == {3}
+
+    def test_stat_mapped_files_charges_per_file(self, kernel):
+        process = make_process(kernel.costs)
+        for i in range(5):
+            process.mm.mmap(Vma(start=1000 + i * 10, n_pages=2, kind="file",
+                                file_path=f"/lib/{i}.so"))
+
+        def driver():
+            start = kernel.engine.now
+            stats = yield from kernel.procfs.stat_mapped_files(process)
+            return stats, kernel.engine.now - start
+
+        stats, elapsed = run(kernel.engine, driver())
+        assert len(stats) == 5
+        assert elapsed == 5 * kernel.costs.collect_mmap_file_stat
+
+
+class TestKernel:
+    def test_block_device_and_fs_lifecycle(self, kernel):
+        kernel.add_block_device("vda")
+        fs = kernel.mkfs("vda", "rootfs")
+        assert kernel.filesystems["rootfs"] is fs
+        with pytest.raises(KernelError):
+            kernel.add_block_device("vda")
+        with pytest.raises(KernelError):
+            kernel.mkfs("vda", "rootfs")
+
+    def test_fs_write_read_via_kernel_charges_time(self, kernel):
+        kernel.add_block_device("vda")
+        fs = kernel.mkfs("vda", "rootfs")
+        fs.create("/f")
+
+        def driver():
+            yield from kernel.fs_write(fs, "/f", 0, b"data")
+            data = yield from kernel.fs_read(fs, "/f", 0, 4)
+            return data
+
+        assert run(kernel.engine, driver()) == b"data"
+        assert kernel.engine.now > 0
+
+    def test_process_adoption(self, kernel):
+        process = make_process(kernel.costs)
+        kernel.adopt_process(process)
+        assert process in kernel.processes
+        kernel.reap_process(process)
+        assert process not in kernel.processes

@@ -1,0 +1,143 @@
+"""Tests for NICs, the plug qdisc and the learning bridge."""
+
+from repro.kernel.netdev import Bridge, NetDevice, Packet, PlugQdisc
+from repro.sim import Engine
+
+
+def mkpkt(payload=b"", src="10.0.0.1", dst="10.0.0.2", **kw):
+    return Packet(src_ip=src, src_port=1, dst_ip=dst, dst_port=2, payload=payload, **kw)
+
+
+class TestPlugQdisc:
+    def test_open_plug_passes_through(self):
+        out = []
+        plug = PlugQdisc("p", out.append)
+        plug.enqueue(mkpkt(b"a"))
+        assert len(out) == 1
+
+    def test_closed_plug_buffers(self):
+        out = []
+        plug = PlugQdisc("p", out.append)
+        plug.plug()
+        plug.enqueue(mkpkt(b"a"))
+        plug.enqueue(mkpkt(b"b"))
+        assert out == [] and plug.queued == 2
+
+    def test_unplug_releases_in_fifo_order(self):
+        out = []
+        plug = PlugQdisc("p", out.append)
+        plug.plug()
+        p1, p2 = mkpkt(b"first"), mkpkt(b"second")
+        plug.enqueue(p1)
+        plug.enqueue(p2)
+        plug.unplug()
+        assert [p.payload for p in out] == [b"first", b"second"]
+        assert plug.buffered_total == 2 and plug.released_total == 2
+
+    def test_replug_during_release_stops_drain(self):
+        out = []
+        plug = PlugQdisc("p", lambda p: (out.append(p), plug.plug()))
+        plug.plug()
+        plug.enqueue(mkpkt(b"a"))
+        plug.enqueue(mkpkt(b"b"))
+        plug.unplug()
+        # The delivery callback re-plugged after the first packet.
+        assert len(out) == 1 and plug.queued == 1
+
+    def test_drop_all_discards(self):
+        out = []
+        plug = PlugQdisc("p", out.append)
+        plug.plug()
+        plug.enqueue(mkpkt(b"doomed"))
+        dropped = plug.drop_all()
+        assert len(dropped) == 1 and plug.queued == 0
+        plug.unplug()
+        assert out == []
+
+
+class TestBridge:
+    def setup_method(self):
+        self.engine = Engine()
+        self.bridge = Bridge(self.engine, bandwidth_bps=1_000_000_000, latency_us=100)
+        self.received = {"a": [], "b": []}
+        self.dev_a = NetDevice("veth-a", "10.0.0.1", "aa:aa", self.engine,
+                               on_ingress=self.received["a"].append)
+        self.dev_b = NetDevice("veth-b", "10.0.0.2", "bb:bb", self.engine,
+                               on_ingress=self.received["b"].append)
+        self.bridge.attach(self.dev_a)
+        self.bridge.attach(self.dev_b)
+
+    def test_forwarding_by_ip(self):
+        self.dev_a.send(mkpkt(b"hi", src="10.0.0.1", dst="10.0.0.2"))
+        self.engine.run()
+        assert [p.payload for p in self.received["b"]] == [b"hi"]
+        assert self.received["a"] == []
+
+    def test_delivery_charges_latency_and_tx_time(self):
+        pkt = mkpkt(b"x" * 1000, dst="10.0.0.2")
+        self.dev_a.send(pkt)
+        self.engine.run()
+        # tx time = (1066 bytes * 8) / 1 Gbps = ~8.5 us -> 8 us integer.
+        assert self.engine.now == 100 + (pkt.size * 8 * 1_000_000) // 1_000_000_000
+
+    def test_unknown_destination_dropped(self):
+        self.dev_a.send(mkpkt(dst="10.9.9.9"))
+        self.engine.run()
+        assert self.bridge.dropped == 1
+
+    def test_per_port_serialization(self):
+        for _ in range(3):
+            self.dev_a.send(mkpkt(b"y" * 10000, dst="10.0.0.2"))
+        self.engine.run()
+        tx = self.bridge.tx_time_us(mkpkt(b"y" * 10000).size)
+        assert self.engine.now == 3 * tx + 100  # serialized, shared latency
+
+    def test_firewall_drop_input(self):
+        self.dev_b.firewall_drop_input = True
+        self.dev_a.send(mkpkt(dst="10.0.0.2"))
+        self.engine.run()
+        assert self.received["b"] == []
+        assert self.dev_b.dropped_by_firewall == 1
+
+    def test_ingress_plug_buffers_then_releases(self):
+        self.dev_b.ingress_plug.plug()
+        self.dev_a.send(mkpkt(b"held", dst="10.0.0.2"))
+        self.engine.run()
+        assert self.received["b"] == []
+        self.dev_b.ingress_plug.unplug()
+        assert [p.payload for p in self.received["b"]] == [b"held"]
+
+    def test_egress_plug_buffers_output(self):
+        self.dev_a.egress_plug.plug()
+        self.dev_a.send(mkpkt(b"epoch-output", dst="10.0.0.2"))
+        self.engine.run()
+        assert self.received["b"] == []
+        self.dev_a.egress_plug.unplug()
+        self.engine.run()
+        assert [p.payload for p in self.received["b"]] == [b"epoch-output"]
+
+    def test_cable_cut_silences_both_directions(self):
+        self.dev_a.cable_cut = True
+        self.dev_a.send(mkpkt(dst="10.0.0.2"))
+        self.dev_b.send(mkpkt(src="10.0.0.2", dst="10.0.0.1"))
+        self.engine.run()
+        assert self.received["a"] == [] and self.received["b"] == []
+
+    def test_gratuitous_arp_moves_address(self):
+        received_c = []
+        dev_c = NetDevice("veth-c", "10.0.0.9", "cc:cc", self.engine,
+                          on_ingress=received_c.append)
+        port_c = self.bridge.attach(dev_c)
+        # Move 10.0.0.2 to dev_c's port (failover address takeover).
+        self.bridge.gratuitous_arp("10.0.0.2", port_c)
+        self.dev_a.send(mkpkt(b"redirected", dst="10.0.0.2"))
+        self.engine.run()
+        assert [p.payload for p in received_c] == [b"redirected"]
+        assert self.received["b"] == []
+
+    def test_detach_drops_traffic_to_port(self):
+        self.dev_b.detach()
+        self.dev_a.send(mkpkt(dst="10.0.0.2"))
+        self.engine.run()
+        assert self.received["b"] == []
+        assert self.bridge.dropped == 1

@@ -1,0 +1,99 @@
+"""Tests for metrics collection and statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import EpochRecord, RunMetrics, percentile
+from repro.metrics.stats import mean
+
+
+def make_epoch(i, stop=1000, dirty=10, state=40960, at=None):
+    return EpochRecord(
+        epoch=i, stop_us=stop, dirty_pages=dirty, state_bytes=state,
+        at_us=at if at is not None else i * 30_000,
+    )
+
+
+class TestPercentile:
+    def test_basic_percentiles(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 10) == 10
+        assert percentile(values, 90) == 90
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_single_value(self):
+        assert percentile([7], 10) == 7
+        assert percentile([7], 90) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    def test_property_percentile_bounds_and_monotone(self, values):
+        p10 = percentile(values, 10)
+        p50 = percentile(values, 50)
+        p90 = percentile(values, 90)
+        assert min(values) <= p10 <= p50 <= p90 <= max(values)
+        assert p10 in values and p50 in values and p90 in values
+
+
+class TestRunMetrics:
+    def test_steady_epochs_skip_initial_full(self):
+        metrics = RunMetrics()
+        metrics.record_epoch(make_epoch(0, stop=100_000))
+        for i in range(1, 5):
+            metrics.record_epoch(make_epoch(i, stop=1000))
+        assert metrics.avg_stop_us() == 1000
+        assert len(metrics.steady_epochs()) == 4
+
+    def test_window_filters_epochs(self):
+        metrics = RunMetrics()
+        for i in range(10):
+            metrics.record_epoch(make_epoch(i, stop=1000 + i, at=i * 10_000))
+        metrics.window_start_us = 30_000
+        metrics.window_end_us = 70_000
+        steady = metrics.steady_epochs()
+        assert [e.epoch for e in steady] == [3, 4, 5, 6]
+
+    def test_window_with_no_epochs_falls_back_to_last(self):
+        metrics = RunMetrics()
+        metrics.record_epoch(make_epoch(0, at=5))
+        metrics.record_epoch(make_epoch(1, at=10))
+        metrics.window_start_us = 1_000_000
+        assert [e.epoch for e in metrics.steady_epochs()] == [1]
+
+    def test_cpu_accounting_and_utilization(self):
+        metrics = RunMetrics()
+        metrics.started_at_us = 0
+        metrics.ended_at_us = 1_000_000
+        metrics.charge_backup_cpu(200_000)
+        assert metrics.backup_core_utilization() == pytest.approx(0.2)
+        metrics.charge_primary_cpu(50_000)
+        assert metrics.primary_agent_cpu_us == 50_000
+
+    def test_stop_percentiles(self):
+        metrics = RunMetrics()
+        metrics.record_epoch(make_epoch(0))
+        for i, stop in enumerate([1000, 2000, 3000, 4000, 5000], start=1):
+            metrics.record_epoch(make_epoch(i, stop=stop))
+        assert metrics.stop_percentile(50) == 3000
+        assert metrics.stop_percentile(90) == 5000
+
+    def test_cache_hit_rate(self):
+        metrics = RunMetrics()
+        assert metrics.cache_hit_rate() == 0.0
+        metrics.record_epoch(make_epoch(0))
+        hit = make_epoch(1)
+        hit.infrequent_from_cache = True
+        metrics.record_epoch(hit)
+        assert metrics.cache_hit_rate() == pytest.approx(0.5)

@@ -1,0 +1,155 @@
+"""Tests for channels, hosts and the world topology."""
+
+from repro.net import Channel, World
+from repro.sim import Engine, ms
+
+
+def test_channel_delivers_message():
+    eng = Engine()
+    chan = Channel(eng, latency_us=50)
+    got = []
+
+    def receiver():
+        delivery = yield chan.b.recv()
+        got.append((eng.now, delivery.message, delivery.chunks))
+
+    eng.process(receiver())
+    chan.a.send({"kind": "hello"}, size_bytes=100, chunks=4)
+    eng.run()
+    assert got[0][1] == {"kind": "hello"}
+    assert got[0][2] == 4
+    assert got[0][0] >= 50
+
+
+def test_channel_fifo_order():
+    eng = Engine()
+    chan = Channel(eng)
+    got = []
+
+    def receiver():
+        for _ in range(3):
+            delivery = yield chan.b.recv()
+            got.append(delivery.message)
+
+    eng.process(receiver())
+    for i in range(3):
+        chan.a.send(i, size_bytes=1000)
+    eng.run()
+    assert got == [0, 1, 2]
+
+
+def test_channel_bandwidth_serialization():
+    eng = Engine()
+    chan = Channel(eng, bandwidth_bps=8_000_000, latency_us=0)  # 1 byte/us
+    times = []
+
+    def receiver():
+        for _ in range(2):
+            yield chan.b.recv()
+            times.append(eng.now)
+
+    eng.process(receiver())
+    chan.a.send("m1", size_bytes=1000)
+    chan.a.send("m2", size_bytes=1000)
+    eng.run()
+    assert times == [1000, 2000]
+
+
+def test_channel_directions_independent():
+    eng = Engine()
+    chan = Channel(eng, bandwidth_bps=8_000_000, latency_us=0)
+    times = {}
+
+    def receiver(end, tag):
+        def proc():
+            yield end.recv()
+            times[tag] = eng.now
+
+        return proc
+
+    eng.process(receiver(chan.b, "b")())
+    eng.process(receiver(chan.a, "a")())
+    chan.a.send("to-b", size_bytes=1000)
+    chan.b.send("to-a", size_bytes=1000)
+    eng.run()
+    assert times == {"a": 1000, "b": 1000}
+
+
+def test_cut_channel_drops_messages():
+    eng = Engine()
+    chan = Channel(eng)
+    got = []
+
+    def receiver():
+        delivery = yield chan.b.recv()
+        got.append(delivery.message)
+
+    eng.process(receiver())
+    chan.cut()
+    chan.a.send("lost")
+    eng.run(until=ms(100))
+    assert got == []
+
+
+def test_cut_drops_in_flight_messages():
+    eng = Engine()
+    chan = Channel(eng, latency_us=1000)
+    got = []
+
+    def receiver():
+        delivery = yield chan.b.recv()
+        got.append(delivery.message)
+
+    def cutter():
+        yield eng.timeout(10)  # message already in flight
+        chan.cut()
+
+    eng.process(receiver())
+    eng.process(cutter())
+    chan.a.send("in-flight")
+    eng.run(until=ms(10))
+    assert got == []
+
+
+def test_host_fail_stop_cuts_channels():
+    world = World()
+    world.primary.fail_stop()
+    assert world.pair_channel.is_cut
+    assert world.primary.kernel.failed
+    got = []
+
+    def receiver():
+        delivery = yield world.backup.endpoint("pair").recv()
+        got.append(delivery)
+
+    world.engine.process(receiver())
+    world.primary.endpoint("pair").send("from the grave")
+    world.run(until=ms(10))
+    assert got == []
+
+
+def test_world_topology():
+    world = World(seed=3)
+    assert world.primary.endpoint("pair").peer is world.backup.endpoint("pair")
+    assert world.bridge.bandwidth_bps == 1_000_000_000
+    assert world.pair_channel.bandwidth_bps == 10_000_000_000
+    # RNG reproducibility at the world level.
+    assert World(seed=3).rng.stream("x").random() == world.rng.stream("x").random()
+
+
+def test_endpoint_send_after_restore():
+    eng = Engine()
+    chan = Channel(eng)
+    got = []
+
+    def receiver():
+        delivery = yield chan.b.recv()
+        got.append(delivery.message)
+
+    eng.process(receiver())
+    chan.cut()
+    chan.a.send("dropped")
+    chan.restore()
+    chan.a.send("arrives")
+    eng.run()
+    assert got == ["arrives"]

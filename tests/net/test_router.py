@@ -1,0 +1,85 @@
+"""Tests for the per-container channel router."""
+
+from repro.net import Channel, World
+from repro.net.router import EndpointRouter
+from repro.sim import Engine, ms
+
+
+def test_router_dispatches_by_container_tag():
+    eng = Engine()
+    chan = Channel(eng)
+    tx_router = EndpointRouter.attach(chan.a, eng)
+    rx_router = EndpointRouter.attach(chan.b, eng)
+    got = {"a": [], "b": []}
+
+    def consumer(tag):
+        port = rx_router.port(tag)
+        while True:
+            delivery = yield port.recv()
+            got[tag].append(delivery.message["n"])
+
+    eng.process(consumer("a"))
+    eng.process(consumer("b"))
+    tx_router.send("a", {"n": 1})
+    tx_router.send("b", {"n": 2})
+    tx_router.send("a", {"n": 3})
+    eng.run(until=ms(10))
+    assert got == {"a": [1, 3], "b": [2]}
+
+
+def test_attach_is_idempotent():
+    eng = Engine()
+    chan = Channel(eng)
+    r1 = EndpointRouter.attach(chan.a, eng)
+    r2 = EndpointRouter.attach(chan.a, eng)
+    assert r1 is r2
+
+
+def test_untagged_or_unknown_messages_counted_dropped():
+    eng = Engine()
+    chan = Channel(eng)
+    rx_router = EndpointRouter.attach(chan.b, eng)
+    rx_router.subscribe("known")
+    chan.a.send({"kind": "mystery"})  # untagged
+    chan.a.send({"kind": "x", "container": "stranger"})  # unknown tag
+    eng.run(until=ms(10))
+    assert rx_router.dropped == 2
+
+
+def test_routed_port_send_preserves_size_and_chunks():
+    eng = Engine()
+    chan = Channel(eng)
+    tx_router = EndpointRouter.attach(chan.a, eng)
+    rx_router = EndpointRouter.attach(chan.b, eng)
+    port_tx = tx_router.port("c1")
+    port_rx = rx_router.port("c1")
+    seen = []
+
+    def consumer():
+        delivery = yield port_rx.recv()
+        seen.append((delivery.size_bytes, delivery.chunks))
+
+    eng.process(consumer())
+    port_tx.send({"kind": "state"}, size_bytes=8192, chunks=7)
+    eng.run(until=ms(10))
+    assert seen == [(8192, 7)]
+
+
+def test_world_add_host_and_connect_pair():
+    world = World(seed=1)
+    spare = world.add_host("spare")
+    assert spare.kernel.hostname == "spare"
+    channel = world.connect_pair(world.backup, spare)
+    got = []
+
+    def consumer():
+        delivery = yield channel.b.recv()
+        got.append(delivery.message)
+
+    world.engine.process(consumer())
+    channel.a.send("hello-spare")
+    world.run(until=ms(10))
+    assert got == ["hello-spare"]
+    # Fail-stop of either end silences the new channel too.
+    spare.fail_stop()
+    assert channel.is_cut

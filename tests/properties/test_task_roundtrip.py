@@ -1,0 +1,50 @@
+"""Property: thread state survives describe -> (serialize) -> restore."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.task import Task
+from repro.workloads.protocol import decode_body, encode_body
+
+registers = st.dictionaries(
+    st.sampled_from(["rip", "rsp", "rax", "rbx", "rcx", "rdx", "rbp"]),
+    st.integers(0, 2**64 - 1),
+    min_size=1,
+)
+
+timers = st.lists(
+    st.tuples(st.sampled_from(["ITIMER_REAL", "ITIMER_VIRTUAL"]),
+              st.integers(0, 10**9), st.integers(0, 10**9)),
+    max_size=3,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    regs=registers,
+    mask=st.integers(0, 2**64 - 1),
+    pending=st.lists(st.integers(1, 64), max_size=4),
+    policy=st.sampled_from(["SCHED_OTHER", "SCHED_FIFO", "SCHED_RR"]),
+    prio=st.integers(0, 99),
+    tmrs=timers,
+)
+def test_thread_state_roundtrip(regs, mask, pending, policy, prio, tmrs):
+    task = Task(name="victim")
+    task.registers = dict(regs)
+    task.signal_mask = mask
+    task.pending_signals = tuple(pending)
+    task.sched_policy = policy
+    task.sched_priority = prio
+    task.timers = tuple(tuple(t) for t in tmrs)
+
+    # describe -> wire serialization -> restore into a fresh task.
+    desc = decode_body(encode_body(task.describe()))
+    restored = Task(name="fresh")
+    restored.restore_from(desc)
+
+    assert restored.registers == task.registers
+    assert restored.signal_mask == task.signal_mask
+    assert restored.pending_signals == task.pending_signals
+    assert restored.sched_policy == task.sched_policy
+    assert restored.sched_priority == task.sched_priority
+    assert restored.timers == task.timers

@@ -1,0 +1,62 @@
+"""Properties of VMA overlap detection and bridge serialization."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.costmodel import CostModel
+from repro.kernel.errors import AddressError
+from repro.kernel.mm import AddressSpace, Vma
+from repro.kernel.netdev import Bridge, NetDevice, Packet
+from repro.sim import Engine
+
+vma_strategy = st.tuples(st.integers(0, 200), st.integers(1, 40))
+
+
+@settings(max_examples=100, deadline=None)
+@given(vmas=st.lists(vma_strategy, max_size=12))
+def test_mapped_vmas_never_overlap(vmas):
+    """Whatever mmap sequence is attempted, accepted VMAs are disjoint and
+    rejected ones genuinely overlapped an accepted one."""
+    space = AddressSpace(CostModel())
+    accepted: list[Vma] = []
+    for start, n_pages in vmas:
+        candidate = Vma(start=start, n_pages=n_pages)
+        try:
+            space.mmap(candidate)
+            accepted.append(candidate)
+        except AddressError:
+            assert any(candidate.overlaps(v) for v in accepted)
+    for i, a in enumerate(accepted):
+        for b in accepted[i + 1:]:
+            assert not a.overlaps(b)
+    # Every accepted page is findable; no page belongs to two VMAs.
+    for vma in accepted:
+        for idx in range(vma.start, vma.end):
+            assert space.find_vma(idx) is vma
+
+
+@settings(max_examples=40, deadline=None)
+@given(sizes=st.lists(st.integers(1, 20_000), min_size=1, max_size=12))
+def test_bridge_serializes_and_orders_per_port(sizes):
+    """Packets to one port arrive in send order, spaced at least by their
+    transmission times (no bandwidth violation)."""
+    engine = Engine()
+    bridge = Bridge(engine, bandwidth_bps=100_000_000, latency_us=50)
+    arrivals: list[tuple[int, int]] = []  # (pkt payload size, time)
+    src = NetDevice("src", "10.0.0.1", "s", engine)
+    dst = NetDevice("dst", "10.0.0.2", "d", engine,
+                    on_ingress=lambda p: arrivals.append((len(p.payload), engine.now)))
+    bridge.attach(src)
+    bridge.attach(dst)
+    packets = [
+        Packet(src_ip="10.0.0.1", src_port=1, dst_ip="10.0.0.2", dst_port=2,
+               payload=b"x" * size)
+        for size in sizes
+    ]
+    for pkt in packets:
+        src.send(pkt)
+    engine.run()
+    assert [size for size, _t in arrivals] == sizes  # order preserved
+    # Inter-arrival gap >= tx time of the later packet (serial link).
+    for (_s1, t1), (pkt, (_s2, t2)) in zip(arrivals, zip(packets[1:], arrivals[1:])):
+        assert t2 - t1 >= bridge.tx_time_us(pkt.size)

@@ -1,0 +1,36 @@
+"""Shared fixtures for replication tests."""
+
+import pytest
+
+from repro.container import ContainerSpec, ProcessSpec
+from repro.net import World
+from repro.replication import NiliconConfig, ReplicatedDeployment
+
+
+@pytest.fixture
+def world():
+    return World(seed=23)
+
+
+def make_spec(name="app", with_disk=True):
+    return ContainerSpec(
+        name=name,
+        ip="10.0.1.10",
+        processes=[ProcessSpec(comm="srv", n_threads=2, heap_pages=2000, n_mapped_files=8)],
+        mounts=[("/data", f"{name}-fs")] if with_disk else [],
+        cgroup_attributes={"cpu.shares": 256},
+    )
+
+
+def make_deployment(world, config=None, on_failover=None, with_disk=True, name="app"):
+    return ReplicatedDeployment(
+        world,
+        make_spec(name=name, with_disk=with_disk),
+        config=config or NiliconConfig.nilicon(),
+        on_failover=on_failover,
+    )
+
+
+@pytest.fixture
+def deployment(world):
+    return make_deployment(world)

@@ -1,0 +1,40 @@
+"""End-to-end determinism: identical seeds produce identical runs.
+
+Everything in the reproduction — the 50-run fault campaign, the
+calibration tables, debugging itself — rests on bit-reproducibility of
+whole deployments, not just of the raw engine.
+"""
+
+from repro.experiments.common import run_server_benchmark
+from repro.experiments.validation import run_one_injection
+from repro.sim import ms
+
+
+def fingerprint(result):
+    return (
+        result.throughput,
+        result.stats.completed,
+        tuple(result.stats.latencies_us),
+        tuple((e.epoch, e.stop_us, e.dirty_pages, e.state_bytes, e.at_us)
+              for e in result.metrics.epochs),
+        result.metrics.backup_cpu_us,
+    )
+
+
+def test_identical_seed_identical_run():
+    a = run_server_benchmark("net", "nilicon", duration_us=ms(800), seed=7)
+    b = run_server_benchmark("net", "nilicon", duration_us=ms(800), seed=7)
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_different_seed_different_run():
+    a = run_server_benchmark("net-echo", "nilicon", duration_us=ms(800), seed=7)
+    b = run_server_benchmark("net-echo", "nilicon", duration_us=ms(800), seed=8)
+    # Random request sizes differ, so the latency series must differ.
+    assert tuple(a.stats.latencies_us) != tuple(b.stats.latencies_us)
+
+
+def test_fault_injection_replays_identically():
+    assert run_one_injection("net-echo", seed=202) == run_one_injection(
+        "net-echo", seed=202
+    )

@@ -1,0 +1,177 @@
+"""Tests of normal-operation replication: epochs, metrics, knobs."""
+
+from repro.sim import ms
+
+from .conftest import make_deployment
+
+
+def test_epochs_advance_and_record_metrics(world, deployment):
+    deployment.start()
+    world.run(until=ms(500))
+    deployment.stop()
+    metrics = deployment.metrics
+    # ~500 ms / (30 ms + stop) -> at least a dozen epochs.
+    assert metrics.n_epochs >= 8
+    assert all(e.stop_us > 0 for e in metrics.epochs)
+    assert metrics.epochs[0].epoch == 0
+    assert [e.epoch for e in metrics.epochs] == list(range(metrics.n_epochs))
+
+
+def test_first_checkpoint_full_then_incremental(world, deployment):
+    container = deployment.container
+    proc = container.processes[0]
+    heap = container.heap_vma
+    # Pre-populate memory so the full checkpoint has content.
+    for i in range(100):
+        proc.mm.write(heap.start + i, b"seed")
+    deployment.start()
+    world.run(until=ms(200))
+    deployment.stop()
+    epochs = deployment.metrics.epochs
+    assert epochs[0].dirty_pages >= 100  # full
+    # Quiet container: incrementals carry (almost) nothing.
+    assert all(e.dirty_pages <= 2 for e in epochs[1:])
+
+
+def test_dirty_pages_flow_to_backup_store(world, deployment):
+    container = deployment.container
+    proc = container.processes[0]
+    heap = container.heap_vma
+
+    def workload():
+        step = 0
+        while not container.dead and world.now < ms(300):
+            def mutate(s=step):
+                proc.mm.write(heap.start + (s % 50), f"v{s}".encode())
+            try:
+                yield from container.run_slice(proc, 500, mutate=mutate)
+            except Exception:
+                return
+            step += 1
+
+    world.engine.process(workload())
+    deployment.start()
+    world.run(until=ms(300))
+    deployment.stop()
+    store = deployment.backup_agent.page_store
+    pages = store.pages_of(proc.pid)
+    assert len(pages) >= 50
+    # The committed content matches what the primary last checkpointed.
+    committed_epoch = deployment.backup_agent.committed_epoch
+    assert committed_epoch >= 2
+
+
+def test_backup_commits_lag_primary_epochs(world, deployment):
+    deployment.start()
+    world.run(until=ms(400))
+    deployment.stop()
+    assert deployment.backup_agent.committed_epoch >= deployment.primary_agent.epoch - 2
+    assert deployment.backup_agent.committed_epoch <= deployment.primary_agent.epoch
+
+
+def test_stop_time_includes_collection(world, deployment):
+    deployment.start()
+    world.run(until=ms(200))
+    deployment.stop()
+    for e in deployment.metrics.epochs:
+        assert e.collect_us > 0
+        assert e.stop_us >= e.collect_us
+
+
+def test_state_cache_hits_after_first_epoch(world, deployment):
+    deployment.start()
+    world.run(until=ms(300))
+    deployment.stop()
+    epochs = deployment.metrics.epochs
+    assert not epochs[0].infrequent_from_cache
+    assert all(e.infrequent_from_cache for e in epochs[1:])
+    cache = deployment.primary_agent.state_cache
+    assert cache is not None
+    assert cache.hits == len(epochs) - 1
+
+
+def test_state_cache_invalidated_by_container_mutation(world, deployment):
+    container = deployment.container
+
+    def mutator():
+        yield world.engine.timeout(ms(100))
+        while container.frozen:  # mutations can't happen while frozen
+            yield world.engine.timeout(ms(1))
+        container.set_hostname("renamed")  # fires the ftrace hook
+
+    world.engine.process(mutator())
+    deployment.start()
+    world.run(until=ms(600))
+    deployment.stop()
+    cache = deployment.primary_agent.state_cache
+    assert cache.invalidations >= 1
+    assert cache.misses >= 2  # initial + post-invalidation
+    # At least one later epoch re-collected.
+    later = [e for e in deployment.metrics.epochs[1:] if not e.infrequent_from_cache]
+    assert later
+
+
+def test_no_cache_config_collects_every_epoch(world):
+    from repro.replication import NiliconConfig
+
+    config = NiliconConfig.nilicon()
+    config = config.with_(criu=config.criu.with_(cache_infrequent_state=False))
+    deployment = make_deployment(world, config=config)
+    deployment.start()
+    world.run(until=ms(400))
+    deployment.stop()
+    assert all(not e.infrequent_from_cache for e in deployment.metrics.epochs)
+    # Without the cache, each epoch pays ~160 ms of collection.
+    assert deployment.metrics.avg_stop_us() > ms(100)
+
+
+def test_cache_cuts_stop_time_massively(world):
+    cached = make_deployment(world, name="appc")
+    cached.start()
+    world.run(until=ms(300))
+    cached.stop()
+    assert cached.metrics.avg_stop_us() < ms(20)
+
+
+def test_firewall_blocking_costs_more_than_plug(world):
+    from repro.replication import NiliconConfig
+
+    w1, w2 = world, type(world)(seed=23)
+    plug = make_deployment(w1, config=NiliconConfig.nilicon())
+    fw = make_deployment(w2, config=NiliconConfig.nilicon().with_(input_block="firewall"))
+    for w, d in ((w1, plug), (w2, fw)):
+        d.start()
+        w.run(until=ms(300))
+        d.stop()
+    assert fw.metrics.avg_stop_us() > plug.metrics.avg_stop_us() + ms(5)
+
+
+def test_staging_buffer_reduces_stop_time(world):
+    from repro.replication import NiliconConfig
+
+    def run_with(staging):
+        w = type(world)(seed=23)
+        d = make_deployment(w, config=NiliconConfig.nilicon().with_(staging_buffer=staging))
+        container = d.container
+        proc = container.processes[0]
+        heap = container.heap_vma
+
+        def workload():
+            step = 0
+            while not container.dead and w.now < ms(300):
+                def mutate(s=step):
+                    for i in range(20):
+                        proc.mm.write(heap.start + (s * 20 + i) % 1500, b"x")
+                try:
+                    yield from container.run_slice(proc, 500, mutate=mutate)
+                except Exception:
+                    return
+                step += 1
+
+        w.engine.process(workload())
+        d.start()
+        w.run(until=ms(300))
+        d.stop()
+        return d.metrics.avg_stop_us()
+
+    assert run_with(True) < run_with(False)

@@ -1,0 +1,55 @@
+"""Split-brain safety under network partition.
+
+The fail-stop assumption (§IV) can be violated in practice: a partition of
+the replication link leaves the primary *alive* while the backup declares
+it dead and takes over.  Output commit makes this safe anyway: the old
+primary can keep executing, but its outputs can never be released — they
+wait for acknowledgments that can no longer arrive — so the external world
+only ever observes one of the two.  This is the deeper reason Remus-style
+buffering is the right design, and it deserves a test.
+"""
+
+from repro.sim import ms, sec
+
+from .conftest import make_deployment
+from .test_failover import CounterService, client_loop, make_client
+
+
+def test_partition_does_not_split_brain(world):
+    service = CounterService(world)
+    deployment = make_deployment(world, on_failover=service.attach)
+    service.attach(deployment.container)
+    deployment.start()
+
+    stack = make_client(world)
+    results = []
+    world.engine.process(client_loop(world, stack, results, n_requests=50))
+
+    def partition():
+        yield world.engine.timeout(ms(700))
+        # Cut ONLY the replication link: the primary host, its container
+        # and its workload all keep running.
+        world.pair_channel.cut()
+
+    world.engine.process(partition())
+    world.run(until=sec(10))
+
+    # The backup detected "failure" and took over.
+    assert deployment.failed_over
+    assert deployment.restored_container is not None
+    # The old primary is genuinely still alive and executing...
+    assert not deployment.container.dead
+    assert not world.primary.failed
+
+    # ...but the client's view is single-system: every request answered,
+    # counter strictly monotonic, no duplicates, no resets.
+    assert len(results) == 50
+    counts = [r["count"] for r in results]
+    assert counts == sorted(counts)
+    assert len(set(counts)) == len(counts)
+    assert all(s.state.value != "reset" for s in stack.connections.values())
+
+    # The old primary's post-partition output never escaped: everything it
+    # generated after the cut is still sitting in its egress plug.
+    assert deployment.container.veth.egress_plug.queued > 0
+    assert deployment.audit_output_commit() == []

@@ -1,0 +1,109 @@
+"""Chained failovers: re-protection after recovery ("nine lives").
+
+After the first failover the restored container runs unprotected on the
+old backup host.  ``reprotect()`` wires a fresh deployment around it with a
+replacement backup host — and the service must then survive a *second*
+fail-stop with the same guarantees.
+"""
+
+import pytest
+
+from repro.sim import ms, sec
+
+from .conftest import make_deployment
+from .test_failover import CounterService, client_loop, make_client
+
+
+def test_reprotect_requires_failover(world):
+    deployment = make_deployment(world)
+    deployment.start()
+    world.run(until=ms(300))
+    with pytest.raises(RuntimeError, match="requires a completed failover"):
+        deployment.reprotect(world.add_host("spare"))
+
+
+def test_service_survives_two_failures(world):
+    service = CounterService(world)
+    deployment = make_deployment(world, on_failover=service.attach)
+    service.attach(deployment.container)
+    deployment.start()
+
+    stack = make_client(world)
+    results = []
+    world.engine.process(
+        client_loop(world, stack, results, n_requests=90, gap_us=ms(10))
+    )
+
+    chain = {"current": deployment, "generation": 1}
+    host_c = world.add_host("backup2")
+
+    def orchestrate():
+        # First failure.
+        yield world.engine.timeout(ms(600))
+        chain["current"].inject_fail_stop()
+        while not chain["current"].failed_over:
+            yield world.engine.timeout(ms(20))
+        while chain["current"].restored_container is None:
+            yield world.engine.timeout(ms(20))
+        # Re-protect onto the spare host.
+        redeployment = chain["current"].reprotect(host_c)
+        redeployment.start()
+        chain["current"] = redeployment
+        chain["generation"] = 2
+        # Let it reach steady state (initial full checkpoint), then kill
+        # the second primary too.
+        yield world.engine.timeout(ms(800))
+        redeployment.inject_fail_stop()
+
+    world.engine.process(orchestrate())
+    world.run(until=sec(20))
+
+    second = chain["current"]
+    assert chain["generation"] == 2
+    assert second.failed_over, "second failure was not detected"
+    assert second.restored_container is not None
+    assert second.restored_container.kernel is host_c.kernel
+
+    # The client saw one uninterrupted, monotonic counter across BOTH
+    # failovers, with every request answered.
+    assert len(results) == 90
+    counts = [r["count"] for r in results]
+    assert counts == sorted(counts)
+    assert len(set(counts)) == len(counts)
+    assert all(s.state.value != "reset" for s in stack.connections.values())
+    assert second.audit_output_commit() == []
+
+
+def test_reprotect_resumes_incremental_replication(world):
+    service = CounterService(world)
+    deployment = make_deployment(world, on_failover=service.attach)
+    service.attach(deployment.container)
+    # Seed state so the restored container has pages to re-replicate.
+    proc0 = deployment.container.processes[0]
+    heap = deployment.container.heap_vma
+    for i in range(20):
+        proc0.mm.write(heap.start + 4 + i, f"seed{i}".encode())
+    deployment.start()
+    host_c = world.add_host("backup2")
+    box = {}
+
+    def orchestrate():
+        yield world.engine.timeout(ms(500))
+        deployment.inject_fail_stop()
+        while deployment.restored_container is None:
+            yield world.engine.timeout(ms(20))
+        redeployment = deployment.reprotect(host_c)
+        redeployment.start()
+        box["re"] = redeployment
+
+    world.engine.process(orchestrate())
+    world.run(until=sec(5))
+
+    redeployment = box["re"]
+    # The new pair reached steady state: epochs advancing, commits landing.
+    assert redeployment.primary_agent.epoch > 5
+    assert redeployment.backup_agent.committed_epoch >= redeployment.primary_agent.epoch - 2
+    # The restored counter state got replicated to the new backup's store.
+    proc = redeployment.container.processes[0]
+    pages = redeployment.backup_agent.page_store.pages_of(proc.pid)
+    assert pages, "no pages committed on the replacement backup"

@@ -1,0 +1,73 @@
+"""Unit tests for the counting semaphore."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+from repro.sim.resources import Semaphore
+
+
+def test_capacity_limits_concurrency():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=2)
+    concurrency = {"now": 0, "peak": 0}
+
+    def worker():
+        yield sem.acquire()
+        concurrency["now"] += 1
+        concurrency["peak"] = max(concurrency["peak"], concurrency["now"])
+        yield eng.timeout(100)
+        concurrency["now"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        eng.process(worker())
+    eng.run()
+    assert concurrency["peak"] == 2
+    assert eng.now == 300  # 6 workers / 2 slots * 100 us
+
+
+def test_fair_fifo_handoff():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=1)
+    order = []
+
+    def worker(tag):
+        yield sem.acquire()
+        order.append(tag)
+        yield eng.timeout(10)
+        sem.release()
+
+    for tag in "abcd":
+        eng.process(worker(tag))
+    eng.run()
+    assert order == list("abcd")
+
+
+def test_release_idle_rejected():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=1)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_zero_capacity_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Semaphore(eng, capacity=0)
+
+
+def test_in_use_tracking():
+    eng = Engine()
+    sem = Semaphore(eng, capacity=3)
+
+    def worker():
+        yield sem.acquire()
+        yield eng.timeout(50)
+        sem.release()
+
+    eng.process(worker())
+    eng.process(worker())
+    eng.run(until=10)
+    assert sem.in_use == 2
+    eng.run()
+    assert sem.in_use == 0

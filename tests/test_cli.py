@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("redis", "ssdb", "node", "lighttpd", "djcms", "swaptions",
+                 "streamcluster", "disk-rw", "net-echo"):
+        assert name in out
+
+
+def test_bench_server(capsys):
+    assert main(["bench", "net", "--mode", "stock", "--duration-ms", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out and "0 errors" in out
+
+
+def test_bench_nilicon_shows_epoch_stats(capsys):
+    assert main(["bench", "net", "--mode", "nilicon", "--duration-ms", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "avg stop" in out and "stopped fraction" in out
+
+
+def test_bench_compute(capsys):
+    assert main(["bench", "swaptions", "--mode", "stock"]) == 0
+    out = capsys.readouterr().out
+    assert "completion" in out
+
+
+def test_table_out_of_range(capsys):
+    assert main(["table", "9"]) == 2
+
+
+def test_failover_command(capsys):
+    assert main(["failover", "net"]) == 0
+    out = capsys.readouterr().out
+    assert "recovered" in out
+
+
+def test_validate_single_workload(capsys):
+    assert main(["validate", "--runs", "1", "--workload", "net-echo"]) == 0
+    out = capsys.readouterr().out
+    assert "net-echo" in out and "100%" in out

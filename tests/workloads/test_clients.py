@@ -1,0 +1,110 @@
+"""Edge-case tests for the client generators."""
+
+from repro.baselines.stock import StockDeployment
+from repro.net import World
+from repro.sim import ms, sec
+from repro.workloads import protocol
+from repro.workloads.base import ClientStats
+from repro.workloads.clients import ClosedLoopClients, PipelinedClient, make_client_stack
+from repro.workloads.microbench import EchoServer
+
+
+def deploy_echo(world, **kw):
+    workload = EchoServer(name="echo", min_len=16, max_len=16, **kw)
+    deployment = StockDeployment(world, workload.spec())
+    workload.attach(world, deployment.container)
+    return workload, deployment
+
+
+def echo_request(i):
+    body = f"payload-{i:04d}!!".encode()
+    return body, (lambda response, b=body: None if response == b else "mismatch"), 1
+
+
+def test_pipelined_client_counts_and_latencies():
+    world = World(seed=3)
+    deploy_echo(world)
+    stats = ClientStats()
+    client = PipelinedClient(world, "10.0.1.10", 7000, echo_request, stats,
+                             window=4, n_requests=12)
+    client.start()
+    world.run(until=sec(2))
+    assert client.done
+    assert stats.completed == 12
+    assert len(stats.latencies_us) == 12
+    assert all(lat > 0 for lat in stats.latencies_us)
+    assert stats.bytes_received == 12 * len(echo_request(0)[0])
+
+
+def test_pipelined_client_connect_refused_records_error():
+    world = World(seed=3)  # nobody listening
+    stats = ClientStats()
+    client = PipelinedClient(world, "10.0.1.99", 7000, echo_request, stats,
+                             n_requests=3)
+    client.start()
+    world.run(until=sec(8))
+    assert client.done
+    assert stats.errors == 1
+    assert stats.completed == 0
+
+
+def test_pipelined_client_validation_failure_recorded():
+    world = World(seed=3)
+    deploy_echo(world)
+    stats = ClientStats()
+
+    def bad_request(i):
+        body = b"0123456789abcdef"
+        return body, (lambda response: "always wrong"), 1
+
+    client = PipelinedClient(world, "10.0.1.10", 7000, bad_request, stats,
+                             n_requests=2)
+    client.start()
+    world.run(until=sec(2))
+    assert len(stats.validation_failures) == 2
+    assert not stats.ok
+
+
+def test_closed_loop_clients_run_until_deadline():
+    world = World(seed=3)
+    deploy_echo(world)
+    stats = ClientStats()
+    clients = ClosedLoopClients(world, "10.0.1.10", 7000, echo_request, stats,
+                                n_clients=3, run_until_us=ms(200))
+    clients.start()
+    world.run(until=ms(400))
+    assert clients.done
+    assert stats.completed >= 3
+    assert stats.ok
+
+
+def test_closed_loop_think_time_limits_rate():
+    world = World(seed=3)
+
+    def run_with(think_us):
+        w = World(seed=3)
+        deploy_echo(w)
+        stats = ClientStats()
+        clients = ClosedLoopClients(w, "10.0.1.10", 7000, echo_request, stats,
+                                    n_clients=1, think_us=think_us,
+                                    run_until_us=ms(500))
+        clients.start()
+        w.run(until=ms(600))
+        return stats.completed
+
+    assert run_with(0) > run_with(ms(50)) * 2
+
+
+def test_client_stacks_get_distinct_ips():
+    world = World(seed=3)
+    a = make_client_stack(world)
+    b = make_client_stack(world)
+    assert a.ip != b.ip
+    assert world.bridge.arp_lookup(a.ip) != world.bridge.arp_lookup(b.ip)
+
+
+def test_throughput_math():
+    stats = ClientStats()
+    stats.operations = 500
+    assert stats.throughput(1_000_000) == 500.0
+    assert stats.throughput(500_000) == 1000.0

@@ -1,0 +1,72 @@
+"""Tests for the framing protocol, including hypothesis round-trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads import protocol
+
+
+def test_frame_roundtrip():
+    body = b"hello world"
+    framed = protocol.frame(body)
+    got, rest = protocol.peel_frame(framed)
+    assert got == body and rest == b""
+
+
+def test_peel_incomplete_header():
+    assert protocol.peel_frame(b"0000") == (None, b"0000")
+
+
+def test_peel_incomplete_body():
+    framed = protocol.frame(b"abcdef")
+    assert protocol.peel_frame(framed[:-2]) == (None, framed[:-2])
+
+
+def test_peel_two_frames():
+    data = protocol.frame(b"one") + protocol.frame(b"two")
+    first, rest = protocol.peel_frame(data)
+    second, rest = protocol.peel_frame(rest)
+    assert (first, second, rest) == (b"one", b"two", b"")
+
+
+def test_frame_ready_counts_missing_bytes():
+    framed = protocol.frame(b"abcdef")
+    assert protocol.frame_ready(framed) == 0
+    assert protocol.frame_ready(framed[:-4]) == 4
+    assert protocol.frame_ready(b"") == protocol.HEADER_LEN
+    assert protocol.frame_ready(framed[:3]) == protocol.HEADER_LEN - 3
+
+
+def test_encode_decode_structures():
+    obj = ("BATCH", [("set", 3, "value"), ("get", 7, None)])
+    assert protocol.decode_body(protocol.encode_body(obj)) == obj
+
+
+@given(st.binary(max_size=2000))
+def test_property_frame_roundtrip(body):
+    got, rest = protocol.peel_frame(protocol.frame(body))
+    assert got == body and rest == b""
+
+
+@given(st.lists(st.binary(max_size=200), max_size=10))
+def test_property_concatenated_frames_parse_in_order(bodies):
+    stream = b"".join(protocol.frame(b) for b in bodies)
+    out = []
+    while True:
+        body, stream = protocol.peel_frame(stream)
+        if body is None:
+            break
+        out.append(body)
+    assert out == bodies and stream == b""
+
+
+@given(
+    st.recursive(
+        st.one_of(st.integers(), st.text(max_size=20), st.none(), st.binary(max_size=20)),
+        lambda children: st.lists(children, max_size=4).map(tuple),
+        max_leaves=12,
+    )
+)
+def test_property_encode_decode_roundtrip(obj):
+    assert protocol.decode_body(protocol.encode_body(obj)) == obj
