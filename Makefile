@@ -1,12 +1,20 @@
 PYTHON ?= python
 
-.PHONY: install test bench bench-full validate report examples clean
+.PHONY: install test lint audit bench bench-full validate report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Determinism / checkpoint-safety linter (nlint); non-zero exit on findings.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint src/
+
+# Epoch loop with runtime kernel-state invariant auditing enabled.
+audit:
+	PYTHONPATH=src $(PYTHON) -m repro audit
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

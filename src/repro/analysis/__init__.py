@@ -1,0 +1,41 @@
+"""Static analysis and runtime auditing for the reproduction's correctness.
+
+The entire repository rests on two properties that ordinary tests cannot
+enforce by themselves:
+
+* **Determinism** — no wall-clock, OS entropy or interpreter-identity value
+  may influence a simulation (see the guarantees documented in
+  :mod:`repro.sim.engine`); every experiment must replay exactly from its
+  seed, which the fault-injection campaign depends on.
+* **Checkpoint completeness** — every piece of mutable kernel state must be
+  covered by the checkpoint path, or failover silently diverges.
+
+This package provides the two enforcement halves:
+
+* :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — ``nlint``,
+  an AST-based linter with codebase-specific rules (DET001..CKPT001), run
+  via ``python -m repro lint src/`` and in CI.
+* :mod:`repro.analysis.auditor` — a runtime state auditor invoked at epoch
+  boundaries and after restore, raising :class:`InvariantViolation` with a
+  state diff when kernel bookkeeping goes inconsistent.
+
+See ``docs/determinism.md`` for the rule catalogue and invariant list.
+"""
+
+from repro.analysis.auditor import InvariantViolation, StateAuditor, Violation
+from repro.analysis.linter import Finding, LintContext, Rule, all_rules, lint_paths, lint_source
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "LintContext",
+    "Rule",
+    "StateAuditor",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,24 @@
+"""Standalone ``repro-lint`` entry point.
+
+Thin wrapper so the linter can run without the full experiment CLI (e.g.
+from pre-commit hooks or editors): ``repro-lint [paths...]`` behaves exactly
+like ``python -m repro lint [paths...]``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.cli import main as repro_main
+
+    args = list(argv) if argv is not None else sys.argv[1:]
+    return repro_main(["lint", *args])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,549 @@
+"""The codebase-specific ``nlint`` rules.
+
+Each rule encodes one way a change could silently break the determinism or
+checkpoint-completeness guarantees the reproduction rests on (see
+``docs/determinism.md`` for the full catalogue with examples):
+
+* **DET001** — wall-clock / OS-entropy use outside ``sim/rng.py``.
+* **DET002** — unordered ``set``s (and live dict views) returned from or
+  iterated in ``sim/``, ``kernel/``, ``replication/``.
+* **DET003** — ``id()`` / builtin ``hash()`` values in event paths.
+* **SIM001** — blocking calls inside simulation generator processes.
+* **EXC001** — broad ``except`` clauses that can swallow
+  :class:`repro.sim.engine.Interrupt`.
+* **CKPT001** — mutable state of checkpointable ``kernel/`` classes not
+  covered by their serializer (``describe``/``metadata``/
+  ``get_repair_state``), or restore paths reading keys never serialized.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintContext, Rule, _own_nodes, register
+
+__all__ = [
+    "BlockingCallInProcess",
+    "BroadExceptSwallowsInterrupt",
+    "CheckpointFieldCoverage",
+    "IdentityHashOrdering",
+    "UnorderedCollectionLeak",
+    "WallClockEntropy",
+]
+
+#: Directories whose iteration order feeds the event heap / checkpoints.
+_DETERMINISM_DIRS = ("sim", "kernel", "replication")
+
+
+# --------------------------------------------------------------------------- #
+# DET001                                                                      #
+# --------------------------------------------------------------------------- #
+@register
+class WallClockEntropy(Rule):
+    """Wall-clock or OS-entropy consultation outside the seeded RNG."""
+
+    rule_id = "DET001"
+    summary = (
+        "wall-clock/OS-entropy use outside sim/rng.py breaks seed replay; "
+        "draw from RngRegistry streams instead"
+    )
+    interests = (ast.Call,)
+
+    #: Exact banned call targets.
+    BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.clock_gettime",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+            "os.urandom",
+            "os.getrandom",
+            "uuid.uuid1",
+            "uuid.uuid4",
+        }
+    )
+    #: Module-level functions of the (unseeded) global ``random`` instance.
+    GLOBAL_RANDOM = frozenset(
+        {
+            "random",
+            "randint",
+            "randrange",
+            "randbytes",
+            "getrandbits",
+            "choice",
+            "choices",
+            "sample",
+            "shuffle",
+            "uniform",
+            "gauss",
+            "normalvariate",
+            "expovariate",
+            "betavariate",
+            "seed",
+        }
+    )
+
+    def visit(self, node: ast.Call, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.norm_path.endswith("sim/rng.py"):
+            return  # the one sanctioned entropy boundary
+        name = ctx.call_name(node)
+        if name is None:
+            return
+        if name in self.BANNED:
+            yield self.finding(
+                ctx,
+                node,
+                f"call to {name}() consults the wall clock / OS entropy; "
+                "simulations must draw time from Engine.now and randomness "
+                "from RngRegistry streams",
+            )
+        elif name.startswith("secrets."):
+            yield self.finding(
+                ctx, node, f"call to {name}() uses OS entropy; use RngRegistry"
+            )
+        elif name.startswith("random.") and name.split(".", 1)[1] in self.GLOBAL_RANDOM:
+            yield self.finding(
+                ctx,
+                node,
+                f"call to {name}() uses the unseeded global random instance; "
+                "use a named RngRegistry stream",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# DET002                                                                      #
+# --------------------------------------------------------------------------- #
+def _is_set_expr(node: ast.AST, set_locals: set[str]) -> bool:
+    """Syntactically set-typed: display, comprehension, set()/frozenset()
+    call, or a local name bound to one of those."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    return isinstance(node, ast.Name) and node.id in set_locals
+
+
+def _is_dict_view(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("keys", "values", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _annotation_is_set(annotation: ast.AST | None) -> bool:
+    if annotation is None:
+        return False
+    root = annotation
+    while isinstance(root, ast.Subscript):
+        root = root.value
+    return isinstance(root, ast.Name) and root.id in ("set", "frozenset", "Set")
+
+
+@register
+class UnorderedCollectionLeak(Rule):
+    """Raw sets / live dict views crossing API or loop boundaries in the
+    determinism-critical layers."""
+
+    rule_id = "DET002"
+    summary = (
+        "iterating or returning unordered sets (or live dict views) in "
+        "sim/kernel/replication makes event order hash-dependent; return "
+        "tuple(sorted(...)) instead"
+    )
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def visit(self, fn, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(*_DETERMINISM_DIRS):
+            return
+
+        # Pass 1: locals bound to set expressions within this function.
+        set_locals: set[str] = set()
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value, set()):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        set_locals.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and _annotation_is_set(node.annotation)
+            ):
+                set_locals.add(node.target.id)
+
+        # Return annotation promising a set to callers.
+        if _annotation_is_set(fn.returns):
+            yield self.finding(
+                ctx,
+                fn,
+                f"{fn.name}() is annotated to return a set; callers will "
+                "iterate it in hash order — return a sorted tuple",
+            )
+
+        for node in _own_nodes(fn):
+            if isinstance(node, ast.Return) and node.value is not None:
+                if _is_set_expr(node.value, set_locals):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "returning a raw set leaks unordered iteration to "
+                        "callers; return tuple(sorted(...))",
+                    )
+                elif _is_dict_view(node.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "returning a live dict view leaks mutable kernel "
+                        "state; return a tuple/list copy",
+                    )
+            elif isinstance(node, ast.For) and _is_set_expr(node.iter, set_locals):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "iterating a set makes loop order hash-dependent; "
+                    "iterate sorted(...)",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter, set_locals):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "comprehension iterates a set in hash order; "
+                            "iterate sorted(...)",
+                        )
+
+
+# --------------------------------------------------------------------------- #
+# DET003                                                                      #
+# --------------------------------------------------------------------------- #
+@register
+class IdentityHashOrdering(Rule):
+    """``id()`` / builtin ``hash()`` values leaking into event paths."""
+
+    rule_id = "DET003"
+    summary = (
+        "id() and hash() vary across runs (heap layout, PYTHONHASHSEED); "
+        "derive orderings and identifiers from stable content"
+    )
+    interests = (ast.Call,)
+
+    #: Methods whose bodies are debugging aids, not event-path code.
+    _EXEMPT_METHODS = ("__repr__", "__str__")
+
+    def visit(self, node: ast.Call, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs("sim", "kernel", "replication", "criu"):
+            return
+        fn = ctx.current_function
+        if fn is not None and fn.name in self._EXEMPT_METHODS:
+            return
+        name = ctx.call_name(node)
+        if name == "id":
+            yield self.finding(
+                ctx,
+                node,
+                "id() is an allocation address and differs across runs; "
+                "use a stable key (sequence number, name, sorted content)",
+            )
+        elif name == "hash":
+            yield self.finding(
+                ctx,
+                node,
+                "builtin hash() is randomized per process (PYTHONHASHSEED) "
+                "for str/bytes; use zlib.crc32 or hashlib for stable values",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# SIM001                                                                      #
+# --------------------------------------------------------------------------- #
+@register
+class BlockingCallInProcess(Rule):
+    """Real blocking calls inside simulation generator processes."""
+
+    rule_id = "SIM001"
+    summary = (
+        "blocking wall-clock/OS calls inside a simulation process stall the "
+        "event loop without advancing simulated time; yield engine.timeout()"
+    )
+    interests = (ast.Call,)
+
+    BANNED_EXACT = frozenset(
+        {
+            "time.sleep",
+            "os.system",
+            "os.popen",
+            "socket.socket",
+            "socket.create_connection",
+            "input",
+        }
+    )
+    BANNED_PREFIXES = ("subprocess.", "requests.", "urllib.request.")
+
+    def visit(self, node: ast.Call, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_generator:
+            return
+        name = ctx.call_name(node)
+        if name is None:
+            return
+        if name in self.BANNED_EXACT or name.startswith(self.BANNED_PREFIXES):
+            yield self.finding(
+                ctx,
+                node,
+                f"blocking call {name}() inside a simulation process; "
+                "charge simulated time via `yield engine.timeout(...)`",
+            )
+
+
+# --------------------------------------------------------------------------- #
+# EXC001                                                                      #
+# --------------------------------------------------------------------------- #
+@register
+class BroadExceptSwallowsInterrupt(Rule):
+    """Broad except clauses that can swallow ``sim.engine.Interrupt``.
+
+    ``Interrupt`` subclasses ``Exception`` (so generators can be killed by
+    fault injection); a generator catching bare ``Exception`` without
+    re-raising absorbs the interrupt and keeps a supposedly-dead process
+    alive.  A preceding ``except Interrupt`` handler, or a ``raise`` in the
+    broad handler's body, makes the pattern safe.
+    """
+
+    rule_id = "EXC001"
+    summary = (
+        "broad except in a generator can swallow sim.engine.Interrupt; "
+        "handle Interrupt explicitly or re-raise"
+    )
+    interests = (ast.Try,)
+
+    @staticmethod
+    def _names_in_handler_type(node: ast.AST | None) -> list[str]:
+        """Class names caught by a handler; for dotted paths like
+        ``engine.Interrupt`` the class is the final attribute."""
+        if node is None:
+            return []
+        exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+        names: list[str] = []
+        for expr in exprs:
+            if isinstance(expr, ast.Attribute):
+                names.append(expr.attr)
+            elif isinstance(expr, ast.Name):
+                names.append(expr.id)
+        return names
+
+    def visit(self, node: ast.Try, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_generator:
+            return
+        interrupt_handled = False
+        for handler in node.handlers:
+            caught = self._names_in_handler_type(handler.type)
+            if "Interrupt" in caught:
+                interrupt_handled = True
+                continue
+            broad = handler.type is None or any(
+                name in ("Exception", "BaseException") for name in caught
+            )
+            if not broad or interrupt_handled:
+                continue
+            reraises = any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+            if not reraises:
+                yield self.finding(
+                    ctx,
+                    handler,
+                    "broad except clause in a simulation process swallows "
+                    "Interrupt; add `except Interrupt: raise` before it or "
+                    "re-raise inside",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# CKPT001                                                                     #
+# --------------------------------------------------------------------------- #
+_SERIALIZERS = ("describe", "metadata", "get_repair_state")
+_RESTORERS = ("restore_from", "from_description", "set_repair_state")
+_MUTABLE_ROOTS = frozenset(
+    {"dict", "list", "set", "deque", "bytearray", "defaultdict", "OrderedDict"}
+)
+
+
+def _dict_keys_of_returns(fn: ast.FunctionDef) -> set[str] | None:
+    """String keys of dict literals returned by *fn*; None if *fn* never
+    returns a dict display (serializer shape we can't analyse)."""
+    keys: set[str] = set()
+    saw_dict = False
+    for node in _own_nodes(fn):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            saw_dict = True
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+    return keys if saw_dict else None
+
+
+def _annotation_root(annotation: ast.AST | None) -> str | None:
+    if annotation is None:
+        return None
+    root = annotation
+    while isinstance(root, ast.Subscript):
+        root = root.value
+    if isinstance(root, ast.Name):
+        return root.id
+    if isinstance(root, ast.Attribute):
+        return root.attr
+    return None
+
+
+def _value_is_mutable(value: ast.AST | None) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name in _MUTABLE_ROOTS:
+            return True
+        if name == "field":
+            return any(kw.arg == "default_factory" for kw in value.keywords)
+    return False
+
+
+@register
+class CheckpointFieldCoverage(Rule):
+    """Unserialized mutable state on checkpointable ``kernel/`` classes.
+
+    A class is *checkpointable* when it defines a serializer method
+    (``describe`` / ``metadata`` / ``get_repair_state``) returning a dict
+    literal — the shape every checkpoint collector in ``criu/collect.py``
+    consumes.  Every public field holding a mutable container must then
+    appear among the serialized keys, or a checkpoint/restore round-trip
+    silently drops it.  The companion check: restore methods must only read
+    keys the serializer actually produces.
+    """
+
+    rule_id = "CKPT001"
+    summary = (
+        "mutable field of a checkpointable kernel class is absent from its "
+        "serializer; checkpoints would silently drop it"
+    )
+    interests = (ast.ClassDef,)
+
+    def visit(self, cls: ast.ClassDef, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs("kernel"):
+            return
+        serializer: ast.FunctionDef | None = None
+        restorers: list[ast.FunctionDef] = []
+        init: ast.FunctionDef | None = None
+        for stmt in cls.body:
+            if isinstance(stmt, ast.FunctionDef):
+                if stmt.name in _SERIALIZERS and serializer is None:
+                    serializer = stmt
+                elif stmt.name in _RESTORERS:
+                    restorers.append(stmt)
+                elif stmt.name == "__init__":
+                    init = stmt
+        if serializer is None:
+            return
+        keys = _dict_keys_of_returns(serializer)
+        if keys is None:
+            return  # serializer doesn't return a dict literal; out of scope
+
+        # Field inventory: dataclass-style class-level annotations plus
+        # ``self.x = ...`` bindings in __init__.
+        fields: list[tuple[str, int, int, bool]] = []  # (name, line, col, mutable)
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                mutable = (
+                    _annotation_root(stmt.annotation) in _MUTABLE_ROOTS
+                    or _value_is_mutable(stmt.value)
+                )
+                fields.append((stmt.target.id, stmt.lineno, stmt.col_offset, mutable))
+        if init is not None:
+            for node in _own_nodes(init):
+                target = None
+                annotation = None
+                value = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, annotation, value = node.target, node.annotation, node.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    mutable = (
+                        _annotation_root(annotation) in _MUTABLE_ROOTS
+                        or _value_is_mutable(value)
+                    )
+                    fields.append((target.attr, node.lineno, node.col_offset, mutable))
+
+        for name, line, col, mutable in fields:
+            if not mutable or name.startswith("_") or name in keys:
+                continue
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.path,
+                line=line,
+                col=col,
+                message=(
+                    f"{cls.name}.{name} is mutable state not covered by "
+                    f"{cls.name}.{serializer.name}(); a checkpoint/restore "
+                    "round-trip silently drops it — serialize it or mark it "
+                    "runtime-only with a suppression explaining why"
+                ),
+            )
+
+        # Restore-side cross-check: keys read must have been serialized.
+        for restorer in restorers:
+            params = [a.arg for a in restorer.args.args if a.arg != "self"]
+            if not params:
+                continue
+            desc_param = params[0]
+            for node in _own_nodes(restorer):
+                read_key = None
+                if (
+                    isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == desc_param
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, str)
+                ):
+                    read_key = node.slice.value
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == desc_param
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    read_key = node.args[0].value
+                if read_key is not None and read_key not in keys:
+                    yield Finding(
+                        rule_id=self.rule_id,
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{cls.name}.{restorer.name}() reads key "
+                            f"{read_key!r} that {serializer.name}() never "
+                            "serializes; restores would KeyError or default"
+                        ),
+                    )

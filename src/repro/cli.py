@@ -9,6 +9,8 @@ Examples::
     python -m repro validate --runs 5 --workload redis --workload disk-rw
     python -m repro scalability threads
     python -m repro failover redis     # one instrumented failover, verbose
+    python -m repro lint src/          # determinism/checkpoint-safety linter
+    python -m repro audit redis        # epoch loop with invariant auditing
 """
 
 from __future__ import annotations
@@ -228,6 +230,76 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run nlint (the determinism/checkpoint-safety linter) over paths."""
+    from repro.analysis.linter import all_rules, lint_paths
+    from repro.analysis.report import render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    try:
+        rules = all_rules(select=args.select)
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
+def _cmd_audit(args) -> int:
+    """Run a replicated epoch loop with the runtime state auditor enabled."""
+    from repro.experiments.common import build_deployment
+    from repro.net import World
+    from repro.workloads.base import ClientStats, ServerWorkload
+    from repro.workloads.catalog import make_workload
+
+    world = World(seed=args.seed)
+    workload = make_workload(args.workload)
+    deployment = build_deployment(world, workload.spec(), "nilicon")
+    deployment.config = deployment.config.with_(audit=True)
+    # build_deployment constructed the agents before the flag flip; install
+    # the auditor by hand the same way the manager does.
+    from repro.analysis.auditor import StateAuditor
+
+    auditor = StateAuditor(raise_on_violation=False)
+    auditor.attach_container(deployment.container)
+    deployment.auditor = auditor
+    deployment.primary_agent.auditor = auditor
+    deployment.backup_agent.auditor = auditor
+
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+    if isinstance(workload, ServerWorkload):
+        stats = ClientStats()
+
+        def launch():
+            yield world.engine.timeout(ms(300))
+            workload.start_clients(world, stats, run_until_us=ms(args.run_ms))
+
+        world.engine.process(launch())
+    world.run(until=ms(args.run_ms))
+    deployment.stop()
+
+    print(f"{args.workload}: audited {auditor.epochs_audited} epoch(s), "
+          f"{auditor.restores_audited} restore(s)")
+    if auditor.violations:
+        print(f"{len(auditor.violations)} invariant violation(s):")
+        for violation in auditor.violations:
+            print(f"  {violation.render()}")
+        return 1
+    print("all kernel state invariants held.")
+    return 0
+
+
 def _cmd_failover(args) -> int:
     from repro.experiments.validation import run_one_injection
 
@@ -283,6 +355,23 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--category", default=None,
                     help="filter: epoch | backup | recovery")
 
+    lint = sub.add_parser(
+        "lint", help="run nlint (determinism/checkpoint-safety rules)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", action="append", default=None, metavar="RULE",
+                      help="run only these rule IDs (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+
+    audit = sub.add_parser(
+        "audit", help="run an epoch loop with runtime invariant auditing"
+    )
+    audit.add_argument("workload", nargs="?", default="net")
+    audit.add_argument("--run-ms", type=int, default=600)
+
     return parser
 
 
@@ -296,6 +385,8 @@ _COMMANDS = {
     "failover": _cmd_failover,
     "report": _cmd_report,
     "trace": _cmd_trace,
+    "lint": _cmd_lint,
+    "audit": _cmd_audit,
 }
 
 

@@ -40,7 +40,10 @@ class Inode:
     #: Needs checkpointing (NiLiCon DNC bit).
     dnc: bool = False
     #: Map of file page index -> disk block index (allocated on writeback).
-    block_map: dict[int, int] = field(default_factory=dict)
+    #: Deliberately absent from metadata(): block placement is host-local
+    #: (the backup's writeback allocates its own blocks); logical content
+    #: reaches the backup via DNC pages + DRBD, not the block map.
+    block_map: dict[int, int] = field(default_factory=dict)  # nlint: disable=CKPT001
 
     def metadata(self) -> dict:
         return {

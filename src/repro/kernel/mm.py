@@ -101,6 +101,10 @@ class AddressSpace:
         #: Resident pages: page index -> content token.
         self.pages: dict[int, bytes] = {}
         self._tracking = _TrackingState()
+        #: Optional shadow observer installed by the runtime state auditor
+        #: (:class:`repro.analysis.auditor.StateAuditor`); ``None`` when
+        #: auditing is off, so the hot path pays one attribute test.
+        self.audit_hook: object | None = None
         #: Nanoseconds of fault overhead accrued but not yet charged as
         #: simulated time; the workload driver drains this (see module doc).
         self.pending_fault_ns: int = 0
@@ -129,6 +133,8 @@ class AddressSpace:
         for idx in range(vma.start, vma.end):
             self.pages.pop(idx, None)
             self._tracking.dirty.discard(idx)
+            if self.audit_hook is not None:
+                self.audit_hook.page_unmapped(idx)
 
     def find_vma(self, page_idx: int) -> Vma:
         for vma in self.vmas:
@@ -158,6 +164,8 @@ class AddressSpace:
                 self.pending_fault_ns += self.costs.soft_dirty_fault_ns
             else:
                 self.pending_fault_ns += self.costs.vm_exit_fault_ns
+        if self.audit_hook is not None:
+            self.audit_hook.page_written(page_idx)
         self.pages[page_idx] = token
 
     def write_range(self, start: int, tokens: Iterable[bytes]) -> int:
@@ -187,6 +195,8 @@ class AddressSpace:
     def start_tracking(self, mode: Literal["soft_dirty", "wrprotect"] = "soft_dirty") -> None:
         """Begin dirty tracking (the first ``clear_refs`` write)."""
         self._tracking = _TrackingState(enabled=True, mode=mode)
+        if self.audit_hook is not None:
+            self.audit_hook.tracking_started()
 
     def clear_refs(self) -> None:
         """Reset dirty bits; every page write-faults again on next touch."""
@@ -194,6 +204,8 @@ class AddressSpace:
             raise AddressError(f"{self.name}: clear_refs before start_tracking")
         self._tracking.dirty.clear()
         self._tracking.faults = 0
+        if self.audit_hook is not None:
+            self.audit_hook.refs_cleared()
 
     @property
     def tracking_enabled(self) -> bool:
@@ -203,11 +215,16 @@ class AddressSpace:
     def tracking_mode(self) -> str:
         return self._tracking.mode
 
-    def dirty_pages(self) -> set[int]:
-        """The pagemap soft-dirty view: pages written since clear_refs."""
+    def dirty_pages(self) -> tuple[int, ...]:
+        """The pagemap soft-dirty view: pages written since clear_refs.
+
+        Returned as a sorted tuple — pagemap is read in address order, and
+        callers iterate this to build checkpoint images, so the order must
+        not depend on set hashing.
+        """
         if not self._tracking.enabled:
             raise AddressError(f"{self.name}: pagemap read before start_tracking")
-        return set(self._tracking.dirty)
+        return tuple(sorted(self._tracking.dirty))
 
     @property
     def resident_count(self) -> int:

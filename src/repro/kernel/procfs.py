@@ -18,6 +18,7 @@ All methods are generator coroutines charging simulated time.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Generator
 
 from repro.kernel.costmodel import CostModel
@@ -60,8 +61,9 @@ class ProcFs:
         else:
             process.mm.start_tracking("soft_dirty")
 
-    def pagemap_dirty(self, process: Process) -> Generator[Any, Any, set[int]]:
-        """Read /proc/pid/pagemap: pages dirtied since the last clear_refs."""
+    def pagemap_dirty(self, process: Process) -> Generator[Any, Any, tuple[int, ...]]:
+        """Read /proc/pid/pagemap: pages dirtied since the last clear_refs,
+        in address order (pagemap is scanned low to high)."""
         yield self._charge(self.costs.pagemap_scan(process.mm.resident_count))
         return process.mm.dirty_pages()
 
@@ -74,4 +76,10 @@ class ProcFs:
         """
         files = process.mm.mapped_files
         yield self._charge(len(files) * self.costs.collect_mmap_file_stat)
-        return [{"path": path, "size": 0, "dev": 8, "ino": hash(path) & 0xFFFF} for path in files]
+        # crc32, not hash(): builtin str hashing is randomized per process
+        # (PYTHONHASHSEED), which would make checkpoint images differ run
+        # to run for identical state.
+        return [
+            {"path": path, "size": 0, "dev": 8, "ino": zlib.crc32(path.encode()) & 0xFFFF}
+            for path in files
+        ]

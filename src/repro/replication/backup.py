@@ -38,6 +38,7 @@ from repro.sim.resources import Queue
 from repro.sim.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.auditor import StateAuditor
     from repro.container.runtime import Container, ContainerRuntime
 
 __all__ = ["BackupAgent"]
@@ -57,6 +58,7 @@ class BackupAgent:
         drbd: list[BackupDrbd],
         metrics: RunMetrics,
         on_failover: Callable[["Container"], None] | None = None,
+        auditor: "StateAuditor | None" = None,
     ) -> None:
         self.engine = engine
         self.runtime = runtime
@@ -68,6 +70,7 @@ class BackupAgent:
         self.drbd = drbd
         self.metrics = metrics
         self.on_failover = on_failover
+        self.auditor = auditor
 
         costs = self.kernel.costs
         self.page_store: PageStore = (
@@ -251,6 +254,10 @@ class BackupAgent:
         container = yield from self.restore_engine.restore(self.runtime, state)
         restore_us = self.engine.now - restore_start
         trace(self.engine, "recovery", "restored", pages=state.total_pages)
+        if self.auditor is not None:
+            # The rebuilt kernel state must satisfy every invariant before
+            # the container goes live behind the old IP.
+            self.auditor.audit_restore(container)
 
         # Reconnect the namespace to the bridge, then advertise the new MAC.
         yield self._charge(costs.bridge_reconnect)

@@ -65,6 +65,10 @@ class NiliconConfig:
     #: bytes.  Off in the paper's NiLiCon; provided for the ablation study.
     compress_transfer: bool = False
     compression_ratio: float = 0.30
+    #: Run the runtime state auditor (:mod:`repro.analysis.auditor`) at
+    #: every epoch boundary and after every restore.  Costs real (host) CPU
+    #: but zero simulated time; off by default, on in property tests.
+    audit: bool = False
 
     @classmethod
     def nilicon(cls) -> "NiliconConfig":

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.analysis.auditor import StateAuditor
 from repro.container.runtime import Container, ContainerRuntime
 from repro.container.spec import ContainerSpec
 from repro.metrics.collector import RunMetrics
@@ -107,6 +108,11 @@ class ReplicatedDeployment:
             self.container = container
             self.primary_runtime.containers[spec.name] = container
         self.container.start_keepalive(self.config.heartbeat_interval_us)
+        #: Runtime invariant checks at epoch/restore boundaries (opt-in).
+        self.auditor: StateAuditor | None = None
+        if self.config.audit:
+            self.auditor = StateAuditor()
+            self.auditor.attach_container(self.container)
         self.netbuffer = NetworkBuffer(
             engine, costs, self.container, input_block=self.config.input_block
         )
@@ -117,6 +123,7 @@ class ReplicatedDeployment:
             netbuffer=self.netbuffer,
             drbd=self.primary_drbd,
             metrics=self.metrics,
+            auditor=self.auditor,
         )
         self.heartbeat = HeartbeatSender(
             engine,
@@ -137,6 +144,7 @@ class ReplicatedDeployment:
             drbd=self.backup_drbd,
             metrics=self.metrics,
             on_failover=on_failover,
+            auditor=self.auditor,
         )
 
         self._started = False

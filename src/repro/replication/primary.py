@@ -37,6 +37,7 @@ from repro.sim.engine import Engine, Event, Interrupt, Process
 from repro.sim.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.auditor import StateAuditor
     from repro.container.runtime import Container
 
 __all__ = ["PrimaryAgent"]
@@ -53,6 +54,7 @@ class PrimaryAgent:
         netbuffer: NetworkBuffer,
         drbd: list[PrimaryDrbd],
         metrics: RunMetrics,
+        auditor: "StateAuditor | None" = None,
     ) -> None:
         self.container = container
         self.kernel = container.kernel
@@ -62,6 +64,7 @@ class PrimaryAgent:
         self.netbuffer = netbuffer
         self.drbd = drbd
         self.metrics = metrics
+        self.auditor = auditor
 
         self.criu = CheckpointEngine(self.kernel, config.criu)
         self.state_cache: InfrequentStateCache | None = None
@@ -130,6 +133,12 @@ class PrimaryAgent:
         for drbd in self.drbd:
             drbd.send_barrier(epoch)
         trace(self.engine, "epoch", "disk_barrier", epoch=epoch)
+
+        if self.auditor is not None:
+            # Audit the quiesced container before collection reads it: the
+            # checkpoint must never capture inconsistent bookkeeping.
+            # Host-CPU only; advances no simulated time.
+            self.auditor.audit_epoch(self.container)
 
         collect_start = self.engine.now
         provider = self.state_cache.provider if self.state_cache is not None else None

@@ -185,7 +185,7 @@ class TestProcFs:
             dirty = yield from kernel.procfs.pagemap_dirty(process)
             return dirty
 
-        assert run(kernel.engine, driver()) == {3}
+        assert run(kernel.engine, driver()) == (3,)
 
     def test_stat_mapped_files_charges_per_file(self, kernel):
         process = make_process(kernel.costs)

@@ -62,16 +62,16 @@ def test_soft_dirty_reports_exact_write_set(mm):
     mm.write(1, b"a")
     mm.write(2, b"b")
     mm.write(1, b"a2")  # rewrite: still one dirty entry
-    assert mm.dirty_pages() == {1, 2}
+    assert mm.dirty_pages() == (1, 2)
 
 
 def test_clear_refs_resets_dirty_bits(mm):
     mm.start_tracking("soft_dirty")
     mm.write(3, b"x")
     mm.clear_refs()
-    assert mm.dirty_pages() == set()
+    assert mm.dirty_pages() == ()
     mm.write(4, b"y")
-    assert mm.dirty_pages() == {4}
+    assert mm.dirty_pages() == (4,)
 
 
 def test_tracking_apis_require_start(mm):

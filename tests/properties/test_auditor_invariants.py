@@ -1,0 +1,98 @@
+"""Property: the runtime auditor is quiet on any legal write/clear history
+and loud on any injected soft-dirty bookkeeping corruption.
+
+The auditor's value rests on both directions.  False positives would force
+people to turn it off; false negatives would let checkpoint bugs ship.  So
+hypothesis drives arbitrary interleavings of page writes, ``clear_refs``
+epochs and audits (always clean), then corrupts the kernel's dirty set at an
+arbitrary point (always detected).
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.auditor import StateAuditor
+from repro.kernel.costmodel import CostModel
+from repro.kernel.mm import AddressSpace, Vma
+from repro.kernel.task import Process
+
+N_PAGES = 48
+
+#: One simulated epoch: pages written during it, then a clear_refs boundary.
+epoch_writes = st.lists(st.integers(0, N_PAGES - 1), max_size=10)
+
+
+class _Shim:
+    """Container shim: one process over *mm*, nothing else to audit."""
+
+    def __init__(self, mm):
+        self.processes = [Process(comm="prop", address_space=mm)]
+        self.stack = type("S", (), {"connections": {}, "name": "prop-stack"})()
+
+    def mounted_filesystems(self):
+        return []
+
+
+def build(audited_epochs):
+    mm = AddressSpace(CostModel(), name="prop-mm")
+    mm.mmap(Vma(start=0, n_pages=N_PAGES, kind="heap"))
+    auditor = StateAuditor()
+    auditor.attach_address_space(mm)
+    mm.start_tracking("soft_dirty")
+    shim = _Shim(mm)
+    for writes in audited_epochs:
+        for idx in writes:
+            mm.write(idx, b"w")
+    return mm, auditor, shim
+
+
+@settings(max_examples=80, deadline=None)
+@given(epochs=st.lists(epoch_writes, min_size=1, max_size=6))
+def test_normal_epochs_audit_clean(epochs):
+    mm = AddressSpace(CostModel(), name="prop-mm")
+    mm.mmap(Vma(start=0, n_pages=N_PAGES, kind="heap"))
+    auditor = StateAuditor()
+    auditor.attach_address_space(mm)
+    mm.start_tracking("soft_dirty")
+    shim = _Shim(mm)
+    for writes in epochs:
+        for idx in writes:
+            mm.write(idx, b"w")
+        # Epoch boundary: audit the frozen state, then clear for the next.
+        assert auditor.audit_epoch(shim) == []
+        mm.clear_refs()
+    assert auditor.epochs_audited == len(epochs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    writes=st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=12),
+    victim_pos=st.integers(0, 11),
+)
+def test_dropped_dirty_page_always_detected(writes, victim_pos):
+    mm, auditor, shim = build([writes])
+    victim = writes[victim_pos % len(writes)]
+    mm._tracking.dirty.discard(victim)  # inject: kernel loses the dirty bit
+    auditor.raise_on_violation = False
+    found = auditor.audit_epoch(shim)
+    assert any(
+        v.invariant == "soft_dirty" and victim in (v.expected or set())
+        for v in found
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    writes=st.lists(st.integers(0, N_PAGES - 1), max_size=12),
+    phantom=st.integers(0, N_PAGES - 1),
+)
+def test_phantom_dirty_page_always_detected(writes, phantom):
+    mm, auditor, shim = build([writes])
+    assume(phantom not in writes)
+    mm._tracking.dirty.add(phantom)  # inject: dirty bit with no write
+    auditor.raise_on_violation = False
+    found = auditor.audit_epoch(shim)
+    assert any(
+        v.invariant == "soft_dirty" and phantom in (v.actual or set())
+        for v in found
+    )

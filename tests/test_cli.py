@@ -50,3 +50,26 @@ def test_validate_single_workload(capsys):
     assert main(["validate", "--runs", "1", "--workload", "net-echo"]) == 0
     out = capsys.readouterr().out
     assert "net-echo" in out and "100%" in out
+
+
+def test_lint_clean_tree_exits_zero(capsys):
+    assert main(["lint", "src"]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_lint_findings_exit_nonzero(tmp_path, capsys):
+    bad = tmp_path / "kernel" / "bad.py"
+    bad.parent.mkdir()
+    bad.write_text("import time\ndef f():\n    return time.time()\n")
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "DET001" in capsys.readouterr().out
+
+
+def test_lint_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--select", "NOPE999", "src"]) == 2
+
+
+def test_audit_command(capsys):
+    assert main(["audit", "net", "--run-ms", "400"]) == 0
+    out = capsys.readouterr().out
+    assert "invariants held" in out and "epoch(s)" in out
