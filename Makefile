@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit bench bench-full validate report examples clean
+.PHONY: install test lint audit bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -25,6 +25,14 @@ bench-full:
 
 validate:
 	$(PYTHON) -m repro validate --runs 5
+
+# Phase-aware fault campaign: every scenario x 2 workloads x 5 seeds (slow).
+faultcampaign:
+	PYTHONPATH=src $(PYTHON) -m repro faultcampaign
+
+# CI subset: every scenario (and thus every injection point) x net-echo x 3 seeds.
+faultcampaign-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro faultcampaign --smoke
 
 report:
 	$(PYTHON) -m repro report

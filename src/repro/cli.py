@@ -314,6 +314,46 @@ def _cmd_failover(args) -> int:
     return 0
 
 
+def _cmd_faultcampaign(args) -> int:
+    import json
+
+    from repro.experiments.faultcampaign import format_campaign, run_phase_campaign
+    from repro.faultinject import SCENARIOS, verify_hook_coverage
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"  {name:<36} {scenario.description}")
+        return 0
+    if args.check_points:
+        import repro
+        from pathlib import Path
+
+        problems = verify_hook_coverage(Path(repro.__file__).resolve().parent)
+        for problem in problems:
+            print(f"  - {problem}")
+        if not problems:
+            print("every declared fault point is reachable from a hook site")
+        return 1 if problems else 0
+
+    kwargs = {}
+    if args.workload:
+        kwargs["workloads"] = args.workload
+    if args.scenario:
+        unknown = [s for s in args.scenario if s not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        kwargs["scenarios"] = args.scenario
+    if args.seeds:
+        kwargs["seeds"] = tuple(args.seeds)
+    report = run_phase_campaign(smoke=args.smoke, **kwargs)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_campaign(report))
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -372,6 +412,24 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("workload", nargs="?", default="net")
     audit.add_argument("--run-ms", type=int, default=600)
 
+    campaign = sub.add_parser(
+        "faultcampaign",
+        help="protocol-phase fault matrix: scenario x workload x seed",
+    )
+    campaign.add_argument("--smoke", action="store_true",
+                          help="reduced CI matrix: one workload, 3 seeds")
+    campaign.add_argument("--workload", action="append", default=None,
+                          help="workload(s) to sweep (repeatable)")
+    campaign.add_argument("--scenario", action="append", default=None,
+                          help="scenario(s) to run (repeatable; see --list)")
+    campaign.add_argument("--seeds", type=int, nargs="+", default=None)
+    campaign.add_argument("--json", action="store_true",
+                          help="emit the full JSON report")
+    campaign.add_argument("--list", action="store_true",
+                          help="list the scenario catalog and exit")
+    campaign.add_argument("--check-points", action="store_true",
+                          help="verify every declared fault point has a hook")
+
     return parser
 
 
@@ -387,6 +445,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "audit": _cmd_audit,
+    "faultcampaign": _cmd_faultcampaign,
 }
 
 

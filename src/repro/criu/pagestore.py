@@ -28,9 +28,23 @@ RADIX_LEVELS = 4
 
 
 class PageStore(Protocol):
-    """What the backup agent requires of a page store."""
+    """What the backup agent requires of a page store.
+
+    A checkpoint is *open* between :meth:`begin_checkpoint` and either
+    :meth:`commit_checkpoint` or :meth:`abort_checkpoint`.  Abort undoes
+    every page stored since the matching begin, restoring the store to the
+    last committed checkpoint — the rollback a failover needs when it
+    interrupts an in-flight commit.
+    """
+
+    @property
+    def checkpoint_open(self) -> bool: ...
 
     def begin_checkpoint(self) -> None: ...
+
+    def commit_checkpoint(self) -> None: ...
+
+    def abort_checkpoint(self) -> None: ...
 
     def store_page(self, pid: int, page_idx: int, content: bytes) -> int: ...
 
@@ -48,6 +62,14 @@ class RadixTreePageStore:
         self.checkpoints_taken = 0
         #: Allocated interior nodes (diagnostics; shows the tree is real).
         self.nodes_allocated = 0
+        #: Undo log of the open checkpoint: (pid, page_idx, prior content or
+        #: None) per slot overwritten since begin_checkpoint.
+        self._undo: list[tuple[int, int, bytes | None]] = []
+        self._open = False
+
+    @property
+    def checkpoint_open(self) -> bool:
+        return self._open
 
     def _new_node(self) -> list:
         self.nodes_allocated += 1
@@ -55,6 +77,26 @@ class RadixTreePageStore:
 
     def begin_checkpoint(self) -> None:
         self.checkpoints_taken += 1
+        self._open = True
+        self._undo.clear()
+
+    def commit_checkpoint(self) -> None:
+        self._open = False
+        self._undo.clear()
+
+    def abort_checkpoint(self) -> None:
+        """Roll the tree back to the last committed checkpoint."""
+        if not self._open:
+            return
+        for pid, page_idx, prior in reversed(self._undo):
+            i0, i1, i2, i3 = self._indices(page_idx)
+            node = self._roots[pid]
+            for idx in (i0, i1, i2):
+                node = node[idx]
+            node[i3] = prior
+        self._undo.clear()
+        self._open = False
+        self.checkpoints_taken -= 1
 
     @staticmethod
     def _indices(page_idx: int) -> tuple[int, int, int, int]:
@@ -77,6 +119,8 @@ class RadixTreePageStore:
             if child is None:
                 child = node[idx] = self._new_node()
             node = child
+        if self._open:
+            self._undo.append((pid, page_idx, node[i3]))
         node[i3] = content
         return self.costs.pagestore_radix_per_page
 
@@ -121,10 +165,35 @@ class LinkedListPageStore:
         #: Oldest-first list of {(pid, page_idx): content} directories.
         self._dirs: list[dict[tuple[int, int], bytes]] = []
         self.checkpoints_taken = 0
+        #: Undo log of the open checkpoint: stale copies popped from earlier
+        #: directories, as (directory index, key, content).
+        self._undo: list[tuple[int, tuple[int, int], bytes]] = []
+        self._open = False
+
+    @property
+    def checkpoint_open(self) -> bool:
+        return self._open
 
     def begin_checkpoint(self) -> None:
         self.checkpoints_taken += 1
         self._dirs.append({})
+        self._open = True
+        self._undo.clear()
+
+    def commit_checkpoint(self) -> None:
+        self._open = False
+        self._undo.clear()
+
+    def abort_checkpoint(self) -> None:
+        """Drop the open directory and restore the stale copies it evicted."""
+        if not self._open:
+            return
+        self._dirs.pop()
+        for dir_idx, key, content in reversed(self._undo):
+            self._dirs[dir_idx][key] = content
+        self._undo.clear()
+        self._open = False
+        self.checkpoints_taken -= 1
 
     def store_page(self, pid: int, page_idx: int, content: bytes) -> int:
         if not self._dirs:
@@ -132,9 +201,11 @@ class LinkedListPageStore:
         key = (pid, page_idx)
         # Walk all previous directories, dropping stale copies.
         searched = 0
-        for directory in self._dirs[:-1]:
+        for dir_idx, directory in enumerate(self._dirs[:-1]):
             searched += 1
-            directory.pop(key, None)
+            stale = directory.pop(key, None)
+            if stale is not None and self._open:
+                self._undo.append((dir_idx, key, stale))
         self._dirs[-1][key] = content
         return (searched + 1) * self.costs.pagestore_list_per_page_per_ckpt
 

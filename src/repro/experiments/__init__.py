@@ -15,6 +15,7 @@ module            paper artifact
 ``table5``        Table V — core utilization, active vs backup host
 ``table6``        Table VI — single-client response latency
 ``validation``    §VII-A — fault-injection recovery campaign
+``faultcampaign`` protocol-phase fault matrix (every injection point)
 ``scalability``   §VII-C — threads / clients / processes sweeps
 ================  ==========================================================
 """
@@ -26,11 +27,19 @@ from repro.experiments.common import (
     run_compute_benchmark,
     run_server_benchmark,
 )
+from repro.experiments.faultcampaign import (
+    PhaseCellResult,
+    run_phase_campaign,
+    run_phase_injection,
+)
 
 __all__ = [
+    "PhaseCellResult",
     "RunResult",
     "overhead_from_throughput",
     "overhead_from_time",
     "run_compute_benchmark",
+    "run_phase_campaign",
+    "run_phase_injection",
     "run_server_benchmark",
 ]

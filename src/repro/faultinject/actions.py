@@ -1,0 +1,56 @@
+"""Reusable fault actions for :class:`~repro.faultinject.plan.PointFault`.
+
+An action is a callable of one argument (the engine) run synchronously
+when its rule fires, *before* any kill interrupt is raised — so crash
+bookkeeping (channel cut, container kill, agent crash) completes before
+the hooked process dies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replication.manager import ReplicatedDeployment
+    from repro.sim.engine import Engine
+
+__all__ = ["crash_primary", "spurious_redetect"]
+
+
+def crash_primary(
+    deployment: "ReplicatedDeployment", after_us: int = 0
+) -> Callable[["Engine"], None]:
+    """Fail-stop the primary, immediately or *after_us* later.
+
+    The delayed form lets in-flight messages (e.g. an ack the backup has
+    already sent) reach the primary before it dies — the window the
+    ack-before-commit race needs.
+    """
+
+    def action(engine: "Engine") -> None:
+        if after_us <= 0:
+            deployment.inject_fail_stop()
+            return
+
+        def later():
+            yield engine.timeout(after_us)
+            deployment.inject_fail_stop()
+
+        engine.process(later(), name="fault-delayed-crash")
+
+    return action
+
+
+def spurious_redetect(
+    deployment: "ReplicatedDeployment",
+) -> Callable[["Engine"], None]:
+    """Fire the failure detector's callback again (e.g. mid-recovery).
+
+    A correct backup must treat this as a no-op: recovery is already in
+    flight and must run exactly once.
+    """
+
+    def action(_engine: "Engine") -> None:
+        deployment.backup_agent._on_failure_detected()
+
+    return action

@@ -1,0 +1,107 @@
+"""Correctness oracles evaluated after every fault-injection run.
+
+Three invariant families (paper §II-A, §IV, §VII-A):
+
+* **output commit** — no epoch's buffered output is released before the
+  backup acknowledged that epoch, and every acknowledged barrier is
+  eventually released (no release lag);
+* **committed-epoch durability** — after a failover, everything that was
+  externally released is covered by the epoch recovery restored from, the
+  page store holds no partially-applied checkpoint, and recovery ran
+  exactly once;
+* **client-session consistency** — clients see no connection errors, no
+  validation failures (response mismatches / lost acknowledged writes),
+  and make progress.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replication.manager import ReplicatedDeployment
+    from repro.workloads.base import ClientStats
+
+__all__ = [
+    "check_client_sessions",
+    "check_durability",
+    "check_failover_expectation",
+    "check_output_commit",
+    "evaluate_oracles",
+]
+
+
+def check_output_commit(deployment: "ReplicatedDeployment") -> list[str]:
+    """Release log audit + release-lag check (acked => released)."""
+    violations = list(deployment.audit_output_commit())
+    lag = deployment.netbuffer.release_lag()
+    if lag:
+        violations.append(
+            f"{lag} acknowledged epoch barrier(s) still queued at run end "
+            "(release lag: acked output never escaped)"
+        )
+    return violations
+
+
+def check_durability(deployment: "ReplicatedDeployment") -> list[str]:
+    """After failover: released output must be covered by the restored epoch."""
+    if not deployment.failed_over:
+        return []
+    violations = []
+    backup = deployment.backup_agent
+    if deployment.restored_container is None:
+        violations.append("recovery did not produce a restored container")
+        return violations
+    recovered = backup.recovered_from_epoch
+    released = [r.epoch for r in deployment.netbuffer.releases]
+    if recovered is not None and released and max(released) > recovered:
+        violations.append(
+            f"epoch {max(released)} output was released to clients but "
+            f"failover restored epoch {recovered} (lost committed output)"
+        )
+    if backup.page_store.checkpoint_open:
+        violations.append(
+            "page store left with an open (partially applied) checkpoint "
+            "after recovery"
+        )
+    if backup.recoveries_started != 1:
+        violations.append(
+            f"{backup.recoveries_started} recovery attempts started "
+            "(expected exactly one)"
+        )
+    return violations
+
+
+def check_failover_expectation(
+    deployment: "ReplicatedDeployment", expect_failover: bool
+) -> list[str]:
+    if expect_failover and not deployment.failed_over:
+        return ["expected failover never happened"]
+    if not expect_failover and deployment.failed_over:
+        return ["spurious failover (no fatal fault was injected)"]
+    return []
+
+
+def check_client_sessions(stats: "ClientStats") -> list[str]:
+    violations = []
+    if stats.errors:
+        violations.append(f"{stats.errors} client connection errors")
+    violations.extend(stats.validation_failures[:5])
+    if stats.completed == 0:
+        violations.append("clients completed no requests")
+    return violations
+
+
+def evaluate_oracles(
+    deployment: "ReplicatedDeployment",
+    stats: "ClientStats",
+    expect_failover: bool,
+    expect_liveness: bool = True,
+) -> list[str]:
+    """All oracles for one run; empty list = the run upheld every invariant."""
+    violations = check_output_commit(deployment)
+    violations += check_failover_expectation(deployment, expect_failover)
+    violations += check_durability(deployment)
+    if expect_liveness:
+        violations += check_client_sessions(stats)
+    return violations

@@ -1,0 +1,103 @@
+"""The injection-point registry and the hook-coverage checker.
+
+Every named :func:`~repro.sim.faults.fault_point` site in the protocol is
+declared here, with the protocol phase it interrupts.  The registry is the
+single source of truth: scenario construction validates point names against
+it, and :func:`verify_hook_coverage` walks the source tree's ASTs to prove
+that every declared point is actually reachable from a hook site (and that
+no hook site uses an undeclared name) — the check wired into
+``repro faultcampaign --check-points`` and the campaign smoke run.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = [
+    "FAULT_POINTS",
+    "LINK_MESSAGE_KINDS",
+    "hooked_points",
+    "verify_hook_coverage",
+]
+
+#: name -> description of the protocol window the point sits in.
+FAULT_POINTS: dict[str, str] = {
+    "primary.post_freeze": (
+        "Container frozen, input not yet blocked; epoch barrier of the "
+        "previous epoch is the newest in the egress queue."
+    ),
+    "primary.mid_collect": (
+        "Input blocked and DRBD barrier sent; the CRIU collection window "
+        "is open and the checkpoint image is being assembled."
+    ),
+    "primary.post_barrier": (
+        "Epoch barrier inserted into the egress plug; this epoch's output "
+        "is now fenced but its state has not been sent."
+    ),
+    "primary.pre_send": (
+        "Checkpoint image complete, about to be streamed to the backup."
+    ),
+    "primary.between_send_and_receipt": (
+        "State is on the wire; the backup has not yet acknowledged it."
+    ),
+    "backup.post_ack_pre_commit": (
+        "Epoch state and disk writes fully received, commit not yet "
+        "applied.  (Historically the ack had already been sent here — the "
+        "ack-before-commit race this point was built to expose.)"
+    ),
+    "backup.mid_commit": (
+        "Commit in flight: roughly half the epoch's pages are in the page "
+        "store under an open checkpoint."
+    ),
+    "backup.mid_recover": (
+        "Failover recovery in flight: uncommitted state discarded, CRIU "
+        "images not yet materialized/restored."
+    ),
+}
+
+#: Message kinds a :class:`~repro.faultinject.plan.LinkFault` may target
+#: (the ``kind`` field of every pair-channel message).
+LINK_MESSAGE_KINDS = ("state", "ack", "heartbeat", "disk_write", "disk_barrier")
+
+
+def hooked_points(root: str | Path) -> set[str]:
+    """Names passed as string literals to ``fault_point(...)`` under *root*.
+
+    AST-based, so commented-out or string-mentioned names don't count —
+    only real call sites do.
+    """
+    found: set[str] = set()
+    for path in sorted(Path(root).rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name != "fault_point" or len(node.args) < 2:
+                continue
+            point = node.args[1]
+            if isinstance(point, ast.Constant) and isinstance(point.value, str):
+                found.add(point.value)
+    return found
+
+
+def verify_hook_coverage(root: str | Path) -> list[str]:
+    """Cross-check the registry against real hook sites under *root*.
+
+    Returns a list of problems (empty = every declared point is reachable
+    and every hook site is declared).
+    """
+    hooked = hooked_points(root)
+    problems = []
+    for name in sorted(set(FAULT_POINTS) - hooked):
+        problems.append(f"declared fault point {name!r} has no fault_point() hook site")
+    for name in sorted(hooked - set(FAULT_POINTS)):
+        problems.append(f"hook site uses undeclared fault point {name!r}")
+    return problems

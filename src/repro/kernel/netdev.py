@@ -124,6 +124,33 @@ class PlugQdisc:
         """Mark the end of epoch *epoch*'s buffered output."""
         self._queue.append(_Barrier(epoch))
 
+    def barrier_epochs(self) -> tuple[int, ...]:
+        """Epochs of the barriers still queued, oldest first."""
+        return tuple(item.epoch for item in self._queue if isinstance(item, _Barrier))
+
+    def release_oldest(self) -> tuple[int | None, int]:
+        """Drain packets up to the oldest barrier, whatever its epoch.
+
+        Returns ``(barrier_epoch, packets)``; ``(None, 0)`` when no barrier
+        is queued.  This is the pop-regardless-of-epoch semantics; the
+        epoch-addressed :meth:`release_through` is what output commit
+        actually requires (a duplicated or reordered ack must not pop a
+        *later* epoch's barrier).
+        """
+        if not any(isinstance(item, _Barrier) for item in self._queue):
+            return None, 0
+        released = 0
+        epoch: int | None = None
+        while self._queue:
+            item = self._queue.popleft()
+            if isinstance(item, _Barrier):
+                epoch = item.epoch
+                break
+            released += 1
+            self.released_total += 1
+            self._deliver(item)
+        return epoch, released
+
     def release_epoch(self) -> int:
         """Release packets up to the oldest barrier; returns packets sent.
 
@@ -131,17 +158,34 @@ class PlugQdisc:
         with no barrier in the queue releases nothing (there is no safely
         acknowledged epoch to release).
         """
-        if not any(isinstance(item, _Barrier) for item in self._queue):
-            return 0
-        released = 0
-        while self._queue:
-            item = self._queue.popleft()
-            if isinstance(item, _Barrier):
-                break
-            released += 1
-            self.released_total += 1
-            self._deliver(item)
-        return released
+        return self.release_oldest()[1]
+
+    def release_through(self, epoch: int) -> list[tuple[int, int]]:
+        """Drain every leading segment whose barrier epoch is <= *epoch*.
+
+        Returns ``[(barrier_epoch, packets), ...]`` per barrier drained,
+        oldest first.  Idempotent: barriers with epochs beyond *epoch* (and
+        the packets fenced behind them) stay queued, so replaying an old
+        acknowledgment releases nothing.
+        """
+        out: list[tuple[int, int]] = []
+        while True:
+            barrier_at = None
+            barrier_epoch = None
+            for i, item in enumerate(self._queue):
+                if isinstance(item, _Barrier):
+                    barrier_at, barrier_epoch = i, item.epoch
+                    break
+            if barrier_at is None or barrier_epoch > epoch:
+                return out
+            released = 0
+            for _ in range(barrier_at):
+                packet = self._queue.popleft()
+                released += 1
+                self.released_total += 1
+                self._deliver(packet)
+            self._queue.popleft()  # the barrier itself
+            out.append((barrier_epoch, released))
 
     def enqueue(self, packet: Packet) -> None:
         """Packet arrives at the qdisc: pass through or buffer."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.sim.engine import Engine
+from repro.sim.faults import link_fault
 from repro.sim.resources import Queue
 from repro.sim.units import SECOND
 
@@ -113,6 +114,11 @@ class Channel:
         self.messages_sent += 1
         dest = self.ends[1 - from_index]
         delivery = Delivery(message=message, size_bytes=size_bytes, chunks=chunks, sent_at=now)
+
+        # An armed fault plan may drop, duplicate, delay or hold this
+        # delivery (zero-cost getattr when no plan is armed).
+        if link_fault(self.engine, self, dest, delivery, arrival - now):
+            return
 
         timer = self.engine.timeout(arrival - now)
         timer.callbacks.append(lambda _ev: None if self._cut else dest.rx.put(delivery))

@@ -6,10 +6,14 @@ During normal operation the backup agent:
   cost (finer-grained arrivals cost more backup CPU — Table V's Node vs
   Redis discussion);
 * waits until the matching DRBD barrier's disk writes are all present,
-  sends the acknowledgment (which lets the primary release that epoch's
-  buffered network output), then *commits*: pages into the committed page
-  store (radix tree or linked list), in-kernel component descriptions into
-  buffers, DRBD writes onto the backup disk.
+  then *commits*: pages into the committed page store (radix tree or
+  linked list), in-kernel component descriptions into buffers, DRBD writes
+  onto the backup disk — and only then sends the acknowledgment that lets
+  the primary release that epoch's buffered network output.  Acking before
+  the commit would break output commit: a failover overlapping the commit
+  would restore from a partially-applied epoch whose output had already
+  escaped (the ``unsafe_ack_before_commit`` regression knob re-creates
+  exactly that race for the fault campaign).
 
 The backup deliberately maintains **no ready-to-go container** (§III) —
 applying hundreds of in-kernel state changes per epoch would cost too many
@@ -34,6 +38,7 @@ from repro.replication.config import NiliconConfig
 from repro.replication.drbd import BackupDrbd
 from repro.replication.heartbeat import FailureDetector
 from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.faults import fault_point
 from repro.sim.resources import Queue
 from repro.sim.trace import trace
 
@@ -97,21 +102,34 @@ class BackupAgent:
         self.received_epoch = -1
         self.failed_over = False
         self.restored_container: "Container | None" = None
+        #: The epoch recovery restored from, captured when recovery starts —
+        #: before any un-quiesced commit could bump ``committed_epoch``.
+        self.recovered_from_epoch: int | None = None
+        #: Recoveries actually launched (a second, spurious detection during
+        #: an in-flight recovery must not start another).
+        self.recoveries_started = 0
+        self._recovering = False
+        #: Epochs that arrived ahead of order (delayed/duplicated state
+        #: under link faults), parked until their predecessors commit.
+        self._out_of_order: dict[int, tuple[CheckpointImage, Any]] = {}
 
         self._state_queue = Queue(engine, name="backup-state")
         self._stopped = False
         self._processes: list[Process] = []
+        self._dispatch_process: Process | None = None
+        self._commit_process: Process | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                            #
     # ------------------------------------------------------------------ #
     def start(self) -> None:
-        self._processes.append(
-            self.engine.process(self._dispatch_loop(), name="backup-dispatch")
+        self._dispatch_process = self.engine.process(
+            self._dispatch_loop(), name="backup-dispatch"
         )
-        self._processes.append(
-            self.engine.process(self._commit_loop(), name="backup-commit")
+        self._commit_process = self.engine.process(
+            self._commit_loop(), name="backup-commit"
         )
+        self._processes += [self._dispatch_process, self._commit_process]
         # The failure detector is armed only after the first commit (see
         # _commit_state): before the backup holds a complete checkpoint it
         # has nothing to recover from, and the long initial full checkpoint
@@ -121,6 +139,13 @@ class BackupAgent:
     def stop(self) -> None:
         self._stopped = True
         self.detector.stop()
+        for process in (self._dispatch_process, self._commit_process):
+            if (
+                process is not None
+                and process.is_alive
+                and process is not self.engine.active_process
+            ):
+                process.interrupt("stopped")
 
     def _charge(self, us: int) -> Event:
         """Charge backup CPU time (accounted for Table V)."""
@@ -152,42 +177,109 @@ class BackupAgent:
                 self._state_queue.put((message["epoch"], message["image"], delivery))
 
     def _commit_loop(self) -> Generator[Any, Any, None]:
-        """Process state images strictly in epoch order."""
-        while not self._stopped:
-            try:
+        """Process state images strictly in epoch order.
+
+        Link faults can deliver state out of order (delayed epoch *k*
+        overtaken by *k+1*) or more than once.  A stale epoch (already
+        committed) is re-acknowledged and dropped — the state is durable,
+        and the re-ack heals a lost original ack.  A future epoch is parked
+        in ``_out_of_order`` until its predecessors commit.
+        """
+        try:
+            while not self._stopped:
                 epoch, image, delivery = yield self._state_queue.get()
-            except Interrupt:
-                return
-            if self.failed_over:
-                return
-            # Reading the streamed state costs CPU per chunk (Table V).
-            yield self._charge(delivery.chunks * self.kernel.costs.backup_read_chunk)
-            if delivery.message.get("compressed"):
-                yield self._charge(
-                    image.dirty_page_count * self.kernel.costs.decompress_per_page
-                )
-            # Wait until this epoch's disk writes are fully here too.
-            for drbd in self.drbd:
-                yield drbd.epoch_complete(epoch)
-            if self.failed_over:
-                return
-            self.received_epoch = epoch
-            trace(self.engine, "backup", "state_received", epoch=epoch)
-            # ACK: the primary may now release this epoch's output.
-            self.endpoint.send({"kind": "ack", "epoch": epoch}, size_bytes=64)
-            trace(self.engine, "backup", "ack_sent", epoch=epoch)
-            yield from self._commit_state(epoch, image)
-            trace(self.engine, "backup", "committed", epoch=epoch)
+                if self.failed_over:
+                    return
+                # Reading the streamed state costs CPU per chunk (Table V).
+                yield self._charge(delivery.chunks * self.kernel.costs.backup_read_chunk)
+                if delivery.message.get("compressed"):
+                    yield self._charge(
+                        image.dirty_page_count * self.kernel.costs.decompress_per_page
+                    )
+                if epoch <= self.committed_epoch:
+                    self._send_ack(epoch)
+                    continue
+                if epoch > self.committed_epoch + 1:
+                    self._out_of_order[epoch] = (image, delivery)
+                    continue
+                yield from self._receive_and_commit(epoch, image, delivery)
+                while self.committed_epoch + 1 in self._out_of_order:
+                    next_epoch = self.committed_epoch + 1
+                    image, delivery = self._out_of_order.pop(next_epoch)
+                    yield from self._receive_and_commit(next_epoch, image, delivery)
+        except Interrupt:
+            return  # teardown, or recovery quiescing an in-flight commit
+
+    def _receive_and_commit(
+        self, epoch: int, image: CheckpointImage, delivery: Any
+    ) -> Generator[Any, Any, None]:
+        # Wait until this epoch's disk writes are fully here too.
+        for drbd in self.drbd:
+            yield drbd.epoch_complete(epoch)
+        if self.failed_over:
+            return
+        self.received_epoch = max(self.received_epoch, epoch)
+        trace(self.engine, "backup", "state_received", epoch=epoch)
+        # Receipt confirmation is what un-freezes a non-staging primary; it
+        # carries no release authority (that is the ack, sent post-commit),
+        # so the container's stop time stays bounded by the transfer, not
+        # by the backup's commit work.
+        self.endpoint.send({"kind": "receipt", "epoch": epoch}, size_bytes=64)
+        if self.config.unsafe_ack_before_commit:
+            # REGRESSION KNOB: the ack-before-commit race.  The primary may
+            # release epoch output that the backup has not made durable yet.
+            self._send_ack(epoch)
+        stall = fault_point(self.engine, "backup.post_ack_pre_commit", epoch=epoch)
+        if stall:
+            yield self.engine.timeout(stall)
+        yield from self._commit_state(epoch, image)
+        trace(self.engine, "backup", "committed", epoch=epoch)
+        if not self.config.unsafe_ack_before_commit:
+            # ACK only once the epoch is durable: the primary may now
+            # release this epoch's buffered output.
+            self._send_ack(epoch)
+
+    def _send_ack(self, epoch: int) -> None:
+        self.endpoint.send({"kind": "ack", "epoch": epoch}, size_bytes=64)
+        trace(self.engine, "backup", "ack_sent", epoch=epoch)
 
     def _commit_state(self, epoch: int, image: CheckpointImage) -> Generator[Any, Any, None]:
+        """Commit *epoch* into the page store, component buffers and disk.
+
+        Structured as yielding *charge* phases (where a failover may
+        interrupt mid-commit — the page store's open checkpoint is then
+        rolled back by :meth:`_recover`) followed by a no-yield
+        *publication* section, so observers never see a half-published
+        epoch: ``committed_epoch`` moves only when every store is updated.
+        """
         self.page_store.begin_checkpoint()
+        pages = [
+            (pimage.pid, page_idx, content)
+            for pimage in image.processes
+            for page_idx, content in pimage.pages.items()
+        ]
+        half = len(pages) // 2
         store_cost = 0
-        for pimage in image.processes:
-            for page_idx, content in pimage.pages.items():
-                store_cost += self.page_store.store_page(pimage.pid, page_idx, content)
+        for pid, page_idx, content in pages[:half]:
+            store_cost += self.page_store.store_page(pid, page_idx, content)
+        if store_cost:
+            yield self._charge(store_cost)
+        stall = fault_point(self.engine, "backup.mid_commit", epoch=epoch)
+        if stall:
+            yield self.engine.timeout(stall)
+        store_cost = 0
+        for pid, page_idx, content in pages[half:]:
+            store_cost += self.page_store.store_page(pid, page_idx, content)
         if store_cost:
             yield self._charge(store_cost)
 
+        disk_writes = sum(drbd.pending_write_count(epoch) for drbd in self.drbd)
+        if disk_writes:
+            yield self._charge(
+                disk_writes * self.kernel.costs.backup_disk_commit_per_block
+            )
+
+        # ---- atomic publication (no yields below this line) ----
         self._process_components = [
             {
                 "pid": p.pid,
@@ -207,13 +299,9 @@ class BackupAgent:
             self._fs_inodes[meta["path"]] = meta
         for path, page_idx, content in image.fs_page_entries:
             self._fs_pages[(path, page_idx)] = content
-
         for drbd in self.drbd:
-            n = yield from drbd.commit_epoch(epoch)
-            if n:
-                self.metrics.charge_backup_cpu(
-                    n * self.kernel.costs.backup_disk_commit_per_block
-                )
+            drbd.apply_epoch(epoch)
+        self.page_store.commit_checkpoint()
         first_commit = self.committed_epoch < 0
         self.committed_epoch = epoch
         if first_commit and self.config.detector_enabled:
@@ -223,21 +311,51 @@ class BackupAgent:
     # Failure → recovery                                                   #
     # ------------------------------------------------------------------ #
     def _on_failure_detected(self) -> None:
-        if not self.failed_over:
-            self._processes.append(
-                self.engine.process(self._recover(), name="backup-recover")
-            )
+        if self.failed_over or self._recovering:
+            # Already recovering (or recovered): a spurious re-detection —
+            # e.g. a detector re-armed mid-recovery — must not launch a
+            # second restore of the same container.
+            return
+        self._recovering = True
+        self.recoveries_started += 1
+        self._processes.append(
+            self.engine.process(self._recover(), name="backup-recover")
+        )
 
     def _recover(self) -> Generator[Any, Any, None]:
         self.failed_over = True
+        # Capture the recovery point *now*: this is the last fully
+        # committed epoch, and the quiesce below guarantees no in-flight
+        # commit can bump it while the restore is being assembled.
+        self.recovered_from_epoch = self.committed_epoch
         recovery_start = self.engine.now
         costs = self.kernel.costs
         trace(self.engine, "recovery", "detected", committed=self.committed_epoch)
+
+        if not self.config.unsafe_ack_before_commit:
+            # Quiesce: abort any in-flight commit and roll the page store
+            # back to the last fully committed checkpoint, so the restore
+            # below never assembles state from a half-applied epoch.
+            for process in (self._commit_process, self._dispatch_process):
+                if (
+                    process is not None
+                    and process.is_alive
+                    and process is not self.engine.active_process
+                ):
+                    process.interrupt("recovering")
+            self.page_store.abort_checkpoint()
+            self._out_of_order.clear()
 
         # Discard everything not committed (uncommitted epochs never became
         # externally visible: their output was still buffered on the primary).
         for drbd in self.drbd:
             drbd.discard_uncommitted()
+
+        stall = fault_point(
+            self.engine, "backup.mid_recover", epoch=self.committed_epoch
+        )
+        if stall:
+            yield self.engine.timeout(stall)
 
         # Materialize CRIU-format image files from the committed state
         # (SSIV: "create image files in a format that CRIU expects"), then

@@ -69,6 +69,21 @@ class NiliconConfig:
     #: every epoch boundary and after every restore.  Costs real (host) CPU
     #: but zero simulated time; off by default, on in property tests.
     audit: bool = False
+    #: REGRESSION KNOB — revert the ack-before-commit fix: the backup acks
+    #: an epoch on receipt (before :meth:`BackupAgent._commit_state` runs)
+    #: and recovery neither quiesces an in-flight commit nor rolls back the
+    #: page store's open checkpoint.  A failover overlapping a commit then
+    #: restores from a partially-applied page store while the acked epoch's
+    #: output has already escaped.  Exists only so the fault campaign can
+    #: demonstrate the race; never enable outside tests.
+    unsafe_ack_before_commit: bool = False
+    #: REGRESSION KNOB — revert the barrier-release fix: an ack pops the
+    #: *oldest* egress barrier regardless of which epoch was acknowledged,
+    #: so a duplicated or reordered ack releases a later epoch's output
+    #: early (or strands acknowledged output behind the plug).  Exists only
+    #: so the fault campaign can demonstrate the race; never enable outside
+    #: tests.
+    unsafe_release_oldest_barrier: bool = False
 
     @classmethod
     def nilicon(cls) -> "NiliconConfig":

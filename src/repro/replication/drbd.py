@@ -108,17 +108,35 @@ class BackupDrbd:
         return expected is not None and len(self._pending.get(epoch, ())) >= expected
 
     # -- commit / discard ----------------------------------------------------------
-    def commit_epoch(self, epoch: int) -> Generator[Any, Any, int]:
-        """Apply *epoch*'s buffered writes to the backup disk, in order."""
+    def pending_write_count(self, epoch: int) -> int:
+        """Buffered (uncommitted) writes held for *epoch*."""
+        return len(self._pending.get(epoch, ()))
+
+    def apply_epoch(self, epoch: int) -> int:
+        """Synchronously apply *epoch*'s buffered writes to the backup disk.
+
+        No simulated time passes here: the caller charges the commit cost
+        beforehand so this can run inside an atomic (no-yield) publication
+        section — a recovery that interrupts the commit then sees either no
+        write of the epoch applied or all of them.
+        """
         writes = self._pending.pop(epoch, [])
         self._barrier_counts.pop(epoch, None)
         self._complete_events.pop(epoch, None)
         for block_idx, data in writes:
             # Raw write: must not re-trigger mirroring hooks on the backup.
             self.device.write_block_raw(block_idx, data)
-        yield self.engine.timeout(len(writes) * self.costs.backup_disk_commit_per_block)
         self.committed_epochs.append(epoch)
         return len(writes)
+
+    def commit_epoch(self, epoch: int) -> Generator[Any, Any, int]:
+        """Charge then apply *epoch*'s writes (compat wrapper used by older
+        call sites and tests; the backup agent charges and applies
+        separately so the apply can be atomic)."""
+        n = self.pending_write_count(epoch)
+        yield self.engine.timeout(n * self.costs.backup_disk_commit_per_block)
+        applied = self.apply_epoch(epoch)
+        return applied
 
     def discard_uncommitted(self) -> int:
         """Failover: drop every buffered-but-uncommitted epoch."""

@@ -89,6 +89,17 @@ class FailureDetector:
         self.fired_at: int | None = None
         self._stopped = False
 
+    @property
+    def armed(self) -> bool:
+        """True once at least one heartbeat has been seen — only then do
+        empty windows count as misses (see :meth:`_run`)."""
+        return self._last_beat_at is not None
+
+    @property
+    def misses(self) -> int:
+        """Consecutive empty windows counted so far (diagnostics/tests)."""
+        return self._misses
+
     def on_heartbeat(self) -> None:
         self._last_beat_at = self.engine.now
         self._misses = 0

@@ -114,7 +114,11 @@ class ReplicatedDeployment:
             self.auditor = StateAuditor()
             self.auditor.attach_container(self.container)
         self.netbuffer = NetworkBuffer(
-            engine, costs, self.container, input_block=self.config.input_block
+            engine,
+            costs,
+            self.container,
+            input_block=self.config.input_block,
+            release_oldest=self.config.unsafe_release_oldest_barrier,
         )
         self.primary_agent = PrimaryAgent(
             container=self.container,
@@ -148,6 +152,7 @@ class ReplicatedDeployment:
         )
 
         self._started = False
+        self._failed_stop = False
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                            #
@@ -178,7 +183,12 @@ class ReplicatedDeployment:
         primary's interfaces: the pair channel goes silent (heartbeats stop
         reaching the detector) and the container's veth is cut.  The
         primary's processes also stop executing (crash semantics).
+        Idempotent: a second injection (e.g. a fault action racing a
+        scripted one) is a no-op — a host can only die once.
         """
+        if self._failed_stop:
+            return
+        self._failed_stop = True
         self.primary_host.fail_stop()
         self.channel.cut()
         self.container.kill()

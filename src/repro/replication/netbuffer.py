@@ -3,9 +3,11 @@
 Output path: the container veth's egress plug is closed for the whole life
 of the deployment.  At each checkpoint the primary agent inserts an epoch
 barrier; when the backup acknowledges epoch *k*, :meth:`release_epoch`
-drains exactly the packets buffered before barrier *k*.  The audit log
-records every release against the acknowledged epoch so tests can verify
-the output-commit invariant mechanically.
+drains exactly the barriers (and the packets fenced before them) with
+epochs up to *k* — addressed by epoch id and idempotent, so duplicated,
+reordered or dropped acknowledgments can never drain a later epoch's
+barrier.  The audit log records every drained barrier against its own
+epoch so tests can verify the output-commit invariant mechanically.
 
 Input path: during checkpointing (and during restore on the backup),
 incoming packets must not mutate container state.  Two implementations:
@@ -23,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Generator, Literal
 
 from repro.kernel.costmodel import CostModel
 from repro.sim.engine import Engine
+from repro.sim.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.container.runtime import Container
@@ -32,8 +35,14 @@ __all__ = ["NetworkBuffer", "ReleaseRecord"]
 
 @dataclass
 class ReleaseRecord:
-    """Audit entry: output released for *epoch* at *time*, when the highest
-    backup-acknowledged epoch was *acked_epoch*."""
+    """Audit entry: the barrier of *epoch* was drained at *time*, when the
+    highest backup-acknowledged epoch was *acked_epoch*.
+
+    ``epoch`` is the *barrier's own* epoch (read off the drained barrier),
+    never the epoch the caller asked to release — so the audit catches a
+    release that drains the wrong barrier, not just a caller that asks for
+    the wrong epoch.
+    """
 
     epoch: int
     time: int
@@ -50,11 +59,16 @@ class NetworkBuffer:
         costs: CostModel,
         container: "Container",
         input_block: Literal["plug", "firewall"] = "plug",
+        release_oldest: bool = False,
     ) -> None:
         self.engine = engine
         self.costs = costs
         self.container = container
         self.input_block_mode = input_block
+        #: Legacy pop-oldest-barrier release semantics (the non-idempotent
+        #: bug; kept behind ``NiliconConfig.unsafe_release_oldest_barrier``
+        #: so regression tests can demonstrate the failure it causes).
+        self.release_oldest_mode = release_oldest
         #: Highest epoch the backup has acknowledged (set by the primary
         #: agent's ack listener before calling release_epoch).
         self.acked_epoch = -1
@@ -71,18 +85,48 @@ class NetworkBuffer:
         self._barriers_inserted += 1
 
     def release_epoch(self, epoch: int) -> int:
-        """Release epoch *epoch*'s buffered output (after its state is
-        acknowledged).  Returns packets released."""
-        released = self.container.veth.egress_plug.release_epoch()
+        """Release buffered output through epoch *epoch*'s barrier.
+
+        Drains every queued barrier whose epoch is <= *epoch* — by epoch
+        id, idempotently: a duplicated or reordered acknowledgment for an
+        already-released epoch drains nothing, and a skipped ack is healed
+        by the next one (cumulative-ack semantics).  Each drained barrier
+        is recorded against its *own* epoch.  Returns packets released.
+        """
+        plug = self.container.veth.egress_plug
+        if self.release_oldest_mode:
+            # Legacy bug semantics: pop the oldest barrier unconditionally.
+            barrier_epoch, released = plug.release_oldest()
+            if barrier_epoch is None:
+                return 0
+            self._record_release(barrier_epoch, released)
+            return released
+        total = 0
+        for barrier_epoch, released in plug.release_through(epoch):
+            self._record_release(barrier_epoch, released)
+            total += released
+        return total
+
+    def _record_release(self, barrier_epoch: int, packets: int) -> None:
         self.releases.append(
             ReleaseRecord(
-                epoch=epoch,
+                epoch=barrier_epoch,
                 time=self.engine.now,
                 acked_epoch=self.acked_epoch,
-                packets=released,
+                packets=packets,
             )
         )
-        return released
+        trace(self.engine, "epoch", "output_released", epoch=barrier_epoch,
+              packets=packets)
+
+    def release_lag(self) -> int:
+        """Barriers still queued whose epoch is already acknowledged.
+
+        Zero in a correct implementation: an ack for epoch *k* must drain
+        every barrier up to *k*.  Positive lag means acknowledged output is
+        stuck behind the plug (the pop-oldest bug's other symptom)."""
+        plug = self.container.veth.egress_plug
+        return sum(1 for e in plug.barrier_epochs() if e <= self.acked_epoch)
 
     def drop_unreleased_output(self) -> int:
         """Failover: unacknowledged output must die with the primary."""
@@ -113,7 +157,13 @@ class NetworkBuffer:
 
     # -- invariant check (used by tests and the validation experiment) ---------
     def audit_output_commit(self) -> list[str]:
-        """Return violations of the output-commit invariant (empty = OK)."""
+        """Return violations of the output-commit invariant (empty = OK).
+
+        Compares each drained barrier's *own* epoch against the
+        acknowledged epoch at release time, so a release that pops the
+        wrong (later) barrier is caught even when the requesting ack was
+        itself legitimate.
+        """
         violations = []
         for record in self.releases:
             if record.epoch > record.acked_epoch:

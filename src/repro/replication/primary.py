@@ -34,6 +34,7 @@ from repro.replication.drbd import PrimaryDrbd
 from repro.replication.netbuffer import NetworkBuffer
 from repro.replication.statecache import InfrequentStateCache
 from repro.sim.engine import Engine, Event, Interrupt, Process
+from repro.sim.faults import fault_point
 from repro.sim.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -90,17 +91,42 @@ class PrimaryAgent:
         )
 
     def stop(self) -> None:
-        """Stop cleanly at the next epoch boundary (experiment teardown)."""
-        self._stopped = True
-        self.metrics.ended_at_us = self.engine.now
+        """Stop cleanly at the next epoch boundary (experiment teardown).
 
-    def crash(self) -> None:
-        """Fail-stop: the agent dies instantly with its host."""
+        The ack loop sits blocked on ``endpoint.recv()`` between acks; a
+        flag alone would leak it forever, so it is interrupted explicitly.
+        Pending receipt events are resolved so an epoch loop mid-cycle in
+        the non-staging path can complete its cycle and observe the flag
+        instead of waiting for an ack that will never be processed.
+        """
         self._stopped = True
         self.metrics.ended_at_us = self.engine.now
         for process in self._processes:
-            if process.is_alive:
+            if process.is_alive and process is not self.engine.active_process:
+                process.interrupt("stopped")
+        self._resolve_receipts()
+
+    def crash(self) -> None:
+        """Fail-stop: the agent dies instantly with its host.
+
+        Safe to call from inside one of the agent's own processes (a
+        fault-injection hook killing the primary mid-phase): the active
+        process is skipped here and dies by the hook's own ``Interrupt``.
+        """
+        self._stopped = True
+        self.metrics.ended_at_us = self.engine.now
+        for process in self._processes:
+            if process.is_alive and process is not self.engine.active_process:
                 process.interrupt("fail-stop")
+        # GC receipt bookkeeping: after a crash/failover nothing will ever
+        # acknowledge these epochs.
+        self._receipt_events.clear()
+
+    def _resolve_receipts(self) -> None:
+        for epoch in list(self._receipt_events):
+            event = self._receipt_events.pop(epoch)
+            if not event.triggered:
+                event.succeed(None)
 
     # ------------------------------------------------------------------ #
     # Epoch machinery                                                      #
@@ -128,6 +154,9 @@ class PrimaryAgent:
 
         freeze_us = yield from self.container.freeze(poll=self.config.criu.freeze_poll)
         trace(self.engine, "epoch", "frozen", epoch=epoch)
+        stall = fault_point(self.engine, "primary.post_freeze", epoch=epoch)
+        if stall:
+            yield self.engine.timeout(stall)
         yield from self.netbuffer.block_input()
         trace(self.engine, "epoch", "input_blocked", epoch=epoch)
         for drbd in self.drbd:
@@ -140,6 +169,9 @@ class PrimaryAgent:
             # Host-CPU only; advances no simulated time.
             self.auditor.audit_epoch(self.container)
 
+        stall = fault_point(self.engine, "primary.mid_collect", epoch=epoch)
+        if stall:
+            yield self.engine.timeout(stall)
         collect_start = self.engine.now
         provider = self.state_cache.provider if self.state_cache is not None else None
         image = yield from self.criu.checkpoint(
@@ -151,6 +183,9 @@ class PrimaryAgent:
 
         # Epoch barrier: output buffered so far belongs to this epoch.
         self.netbuffer.insert_epoch_barrier(epoch)
+        stall = fault_point(self.engine, "primary.post_barrier", epoch=epoch)
+        if stall:
+            yield self.engine.timeout(stall)
 
         sync_transfer_us = 0
         if self.config.staging_buffer:
@@ -169,8 +204,20 @@ class PrimaryAgent:
                 per_page += costs.proxy_per_page
                 fixed += costs.proxy_fixed
             yield self.engine.timeout(fixed + image.dirty_page_count * per_page)
+            # Register the receipt event *before* transmitting: an ack that
+            # arrives before the epoch loop yields must find the event, not
+            # allocate a second one that nobody will ever trigger.
+            receipt = self._receipt_event(epoch)
+            stall = fault_point(self.engine, "primary.pre_send", epoch=epoch)
+            if stall:
+                yield self.engine.timeout(stall)
             self._send_state(epoch, image)
-            yield self._receipt_event(epoch)
+            stall = fault_point(
+                self.engine, "primary.between_send_and_receipt", epoch=epoch
+            )
+            if stall:
+                yield self.engine.timeout(stall)
+            yield receipt
             sync_transfer_us = self.engine.now - transfer_start
 
         yield from self.netbuffer.unblock_input()
@@ -184,7 +231,15 @@ class PrimaryAgent:
                 yield self.engine.timeout(
                     image.dirty_page_count * costs.compress_per_page
                 )
+            stall = fault_point(self.engine, "primary.pre_send", epoch=epoch)
+            if stall:
+                yield self.engine.timeout(stall)
             self._send_state(epoch, image)
+            stall = fault_point(
+                self.engine, "primary.between_send_and_receipt", epoch=epoch
+            )
+            if stall:
+                yield self.engine.timeout(stall)
 
         self.metrics.record_epoch(
             EpochRecord(
@@ -229,17 +284,32 @@ class PrimaryAgent:
             try:
                 delivery = yield self.endpoint.recv()
             except Interrupt:
-                return  # fail-stop
+                return  # fail-stop / teardown
             message = delivery.message
-            if message.get("kind") != "ack":
+            kind = message.get("kind")
+            if kind == "receipt":
+                # The backup holds the epoch's state; a frozen non-staging
+                # container may thaw.  No release authority — that needs
+                # the post-commit ack.
+                event = self._receipt_events.pop(message["epoch"], None)
+                if event is not None and not event.triggered:
+                    event.succeed(None)
+                continue
+            if kind != "ack":
                 continue
             epoch = message["epoch"]
             trace(self.engine, "epoch", "acked", epoch=epoch)
-            self.netbuffer.acked_epoch = max(self.netbuffer.acked_epoch, epoch)
-            released = self.netbuffer.release_epoch(epoch)
-            trace(self.engine, "epoch", "output_released", epoch=epoch,
-                  packets=released)
+            if epoch > self.netbuffer.acked_epoch:
+                self.netbuffer.acked_epoch = epoch
+            # Cumulative release: drain every barrier up to the highest
+            # acknowledged epoch.  Addressed by epoch id, so a duplicated,
+            # reordered or dropped ack can never pop a later epoch's
+            # barrier — a skipped ack is healed by the next one.
+            released = self.netbuffer.release_epoch(self.netbuffer.acked_epoch)
             self.metrics.packets_released += released
-            event = self._receipt_events.pop(epoch, None)
-            if event is not None and not event.triggered:
-                event.succeed(None)
+            for pending in sorted(self._receipt_events):
+                if pending > self.netbuffer.acked_epoch:
+                    break
+                event = self._receipt_events.pop(pending)
+                if not event.triggered:
+                    event.succeed(None)

@@ -1,0 +1,73 @@
+"""Engine-level fault-injection hook (the ``trace()`` of fault injection).
+
+The replication protocol is threaded with *named injection points* —
+``fault_point(engine, "primary.post_barrier", epoch=...)`` — exactly the
+way it is threaded with :func:`repro.sim.trace.trace` calls.  When no plan
+is armed the call is a single ``getattr`` returning 0, so instrumented
+code paths cost nothing in normal runs.
+
+An armed plan (see :mod:`repro.faultinject.plan`) is stored on the engine
+as ``engine.fault_plan``.  ``fault_point`` returns the number of simulated
+microseconds the hooked process must stall (0 = continue immediately), and
+may raise :class:`~repro.sim.engine.Interrupt` to kill the hooked process
+in place — the mechanism behind "crash the primary exactly at phase X".
+
+Link-level faults use the same registry: :meth:`Channel._transmit
+<repro.net.link.Channel._transmit>` consults :func:`link_fault` before
+scheduling a delivery, letting the plan drop, duplicate, delay or hold
+individual protocol messages (acks, heartbeats, state, disk writes).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Channel, Delivery, Endpoint
+    from repro.sim.engine import Engine
+
+__all__ = ["clear_plan", "fault_point", "install_plan", "link_fault"]
+
+
+def fault_point(engine: "Engine", name: str, **detail: Any) -> int:
+    """Consult the armed fault plan at injection point *name*.
+
+    Returns the stall (simulated µs) the caller must ``yield
+    engine.timeout(...)`` for, or 0.  May raise ``Interrupt`` to fail-stop
+    the calling process at exactly this point.  Cheap no-op when no plan
+    is armed.
+    """
+    plan = getattr(engine, "fault_plan", None)
+    if plan is None:
+        return 0
+    return plan.on_point(name, detail)
+
+
+def link_fault(
+    engine: "Engine",
+    channel: "Channel",
+    dest: "Endpoint",
+    delivery: "Delivery",
+    delay_us: int,
+) -> bool:
+    """Consult the armed fault plan for one channel transmission.
+
+    Returns True if the plan took over delivery scheduling (dropped, held,
+    duplicated or re-timed the message); False means the channel should
+    deliver normally.  Cheap no-op when no plan is armed.
+    """
+    plan = getattr(engine, "fault_plan", None)
+    if plan is None:
+        return False
+    return plan.on_transmit(channel, dest, delivery, delay_us)
+
+
+def install_plan(engine: "Engine", plan: Any) -> None:
+    """Arm *plan* on *engine* (one plan at a time)."""
+    engine.fault_plan = plan
+
+
+def clear_plan(engine: "Engine") -> None:
+    """Disarm any fault plan; hooks revert to zero-cost no-ops."""
+    if getattr(engine, "fault_plan", None) is not None:
+        engine.fault_plan = None

@@ -1,0 +1,75 @@
+"""Checkpoint rollback: abort must restore the last committed state.
+
+The backup rolls the open checkpoint back when a failover interrupts an
+in-flight commit; both store implementations must undo partial stores
+exactly (overwrites restored, fresh slots cleared, stale copies revived).
+"""
+
+import pytest
+
+from repro.criu.pagestore import LinkedListPageStore, RadixTreePageStore
+from repro.kernel.costmodel import CostModel
+
+
+@pytest.fixture(params=[RadixTreePageStore, LinkedListPageStore],
+                ids=["radix", "list"])
+def store(request):
+    return request.param(CostModel())
+
+
+def commit_pages(store, pages):
+    store.begin_checkpoint()
+    for pid, idx, content in pages:
+        store.store_page(pid, idx, content)
+    store.commit_checkpoint()
+
+
+def test_abort_restores_committed_content(store):
+    commit_pages(store, [(1, 0, b"A"), (1, 1, b"B"), (2, 7, b"Z")])
+    assert store.checkpoints_taken == 1
+    assert not store.checkpoint_open
+
+    store.begin_checkpoint()
+    store.store_page(1, 0, b"X")   # overwrite
+    store.store_page(1, 2, b"C")   # fresh slot
+    store.store_page(2, 7, b"Y")   # overwrite, other pid
+    assert store.checkpoint_open
+    store.abort_checkpoint()
+
+    assert not store.checkpoint_open
+    assert store.checkpoints_taken == 1
+    assert store.pages_of(1) == {0: b"A", 1: b"B"}
+    assert store.pages_of(2) == {7: b"Z"}
+    assert store.lookup(1, 2) is None
+
+
+def test_abort_of_empty_open_checkpoint(store):
+    commit_pages(store, [(1, 0, b"A")])
+    store.begin_checkpoint()
+    store.abort_checkpoint()
+    assert store.checkpoints_taken == 1
+    assert store.pages_of(1) == {0: b"A"}
+
+
+def test_abort_without_open_checkpoint_is_noop(store):
+    commit_pages(store, [(1, 0, b"A")])
+    store.abort_checkpoint()
+    assert store.checkpoints_taken == 1
+    assert store.pages_of(1) == {0: b"A"}
+
+
+def test_commit_clears_undo_so_later_abort_cannot_rewind(store):
+    commit_pages(store, [(1, 0, b"A")])
+    commit_pages(store, [(1, 0, b"B")])
+    store.abort_checkpoint()  # nothing open: must not touch committed state
+    assert store.lookup(1, 0) == b"B"
+    assert store.checkpoints_taken == 2
+
+
+def test_repeated_overwrites_in_one_open_checkpoint(store):
+    commit_pages(store, [(1, 5, b"old")])
+    store.begin_checkpoint()
+    store.store_page(1, 5, b"v1")
+    store.store_page(1, 5, b"v2")
+    store.abort_checkpoint()
+    assert store.lookup(1, 5) == b"old"

@@ -1,0 +1,33 @@
+"""The registry and the AST hook-coverage checker agree with the source."""
+
+from pathlib import Path
+
+import repro
+from repro.faultinject.points import FAULT_POINTS, hooked_points, verify_hook_coverage
+
+SOURCE_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_every_declared_point_has_a_hook_site():
+    assert verify_hook_coverage(SOURCE_ROOT) == []
+
+
+def test_hooked_points_finds_all_registered_names():
+    assert hooked_points(SOURCE_ROOT) == set(FAULT_POINTS)
+
+
+def test_registry_covers_both_roles():
+    assert {name.split(".")[0] for name in FAULT_POINTS} == {"primary", "backup"}
+    assert "primary.post_freeze" in FAULT_POINTS
+    assert "backup.mid_recover" in FAULT_POINTS
+
+
+def test_checker_reports_undeclared_hook_site(tmp_path):
+    (tmp_path / "rogue.py").write_text(
+        "def f(engine):\n"
+        "    fault_point(engine, 'primary.no_such_point')\n"
+    )
+    problems = verify_hook_coverage(tmp_path)
+    assert any("undeclared" in p and "primary.no_such_point" in p for p in problems)
+    # And every declared point is missing from this empty tree.
+    assert sum("no fault_point() hook site" in p for p in problems) == len(FAULT_POINTS)

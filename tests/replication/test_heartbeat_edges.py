@@ -1,0 +1,124 @@
+"""Failure-detector edge cases: boundaries, phase offsets, arming.
+
+The detector counts *empty windows*, not late beats, and it only starts
+counting once the first heartbeat has been seen — so the long initial
+full checkpoint (a frozen, silent primary) can never be misread as a
+failure.
+"""
+
+from repro.net.link import Channel
+from repro.replication.heartbeat import FailureDetector, HeartbeatSender
+from repro.sim.engine import Engine
+
+INTERVAL = 30_000
+
+
+def make_detector(engine, **kwargs):
+    fired = []
+    detector = FailureDetector(
+        engine, on_failure=lambda: fired.append(engine.now),
+        interval_us=INTERVAL, **kwargs
+    )
+    detector.start()
+    return detector, fired
+
+
+def beat_every(engine, detector, period_us, first_at_us=0, stop_at_us=None):
+    def run():
+        if first_at_us:
+            yield engine.timeout(first_at_us)
+        while stop_at_us is None or engine.now < stop_at_us:
+            detector.on_heartbeat()
+            yield engine.timeout(period_us)
+
+    engine.process(run())
+
+
+def test_beat_exactly_on_window_boundary_never_fires():
+    engine = Engine()
+    detector, fired = make_detector(engine)
+    # Beats land at t = 0, 30ms, 60ms, ... — the exact instants the
+    # detector closes its windows.  A >=-boundary off-by-one would count
+    # these as misses.
+    beat_every(engine, detector, INTERVAL)
+    engine.run(until=INTERVAL * 40)
+    assert fired == []
+    assert detector.misses == 0
+
+
+def test_phase_offset_half_window_never_fires():
+    engine = Engine()
+    detector, fired = make_detector(engine)
+    # Sender phase-shifted by half a window (e.g. link latency): every
+    # detector window still contains exactly one beat.
+    beat_every(engine, detector, INTERVAL, first_at_us=INTERVAL // 2)
+    engine.run(until=INTERVAL * 40)
+    assert fired == []
+
+
+def test_unarmed_detector_never_fires_over_long_silence():
+    engine = Engine()
+    detector, fired = make_detector(engine)
+    # No heartbeat ever arrives — the initial full checkpoint can keep the
+    # primary frozen and silent for many windows.  Until the first beat
+    # arms the detector, silence must not count as misses.
+    engine.run(until=INTERVAL * 50)
+    assert not detector.armed
+    assert detector.misses == 0
+    assert fired == []
+
+
+def test_detector_arms_on_first_beat_then_fires_after_threshold():
+    engine = Engine()
+    detector, fired = make_detector(engine)
+    first_beat = INTERVAL * 10 + INTERVAL // 3
+    beat_every(engine, detector, INTERVAL * 100, first_at_us=first_beat,
+               stop_at_us=first_beat + 1)
+    engine.run(until=INTERVAL * 30)
+    assert detector.armed
+    assert fired, "armed detector must fire after sustained silence"
+    # Three consecutive empty windows after the beat's own window.
+    assert fired[0] == detector.fired_at
+    windows_after_beat = (detector.fired_at - first_beat) // INTERVAL
+    assert 3 <= windows_after_beat <= 4
+    assert detector.misses == 3
+
+
+def test_two_missed_windows_do_not_fire():
+    engine = Engine()
+    detector, fired = make_detector(engine)
+
+    def run():
+        detector.on_heartbeat()
+        # Stay silent for two full windows, then resume beating.
+        yield engine.timeout(INTERVAL * 3 - 1)
+        while True:
+            detector.on_heartbeat()
+            yield engine.timeout(INTERVAL)
+
+    engine.process(run())
+    engine.run(until=INTERVAL * 20)
+    assert fired == []
+
+
+def test_sender_withholds_heartbeat_when_cpu_is_idle():
+    engine = Engine()
+    channel = Channel(engine)
+    usage = {"value": 0, "rising": True}
+
+    def read_cpuacct():
+        if usage["rising"]:
+            usage["value"] += 1
+        return usage["value"]
+
+    sender = HeartbeatSender(engine, channel.a, read_cpuacct,
+                             interval_us=INTERVAL)
+    sender.start()
+    engine.run(until=INTERVAL * 5 + 1)
+    assert sender.sent == 5
+    assert sender.skipped_idle == 0
+    usage["rising"] = False  # container stops making progress
+    engine.run(until=INTERVAL * 10 + 1)
+    assert sender.sent == 5
+    assert sender.skipped_idle == 5
+    assert channel.messages_sent == 5

@@ -1,0 +1,64 @@
+"""Primary-agent lifecycle: no leaked processes, no orphaned receipts.
+
+``stop()`` used to leave the ack loop parked on ``endpoint.recv()``
+forever, and the non-staging path used to allocate its receipt event
+*after* sending state — a receipt arriving in between found no event and
+froze the container permanently.  These tests pin the fixed behaviour.
+"""
+
+from repro.faultinject import FaultPlan, PointFault
+from repro.replication import NiliconConfig
+from repro.sim.units import ms
+from tests.replication.conftest import make_deployment
+
+
+def test_stop_reaps_the_blocked_ack_loop(world, deployment):
+    deployment.start()
+    world.run(until=ms(200))
+    deployment.stop()
+    # Deliver the teardown interrupts (they are scheduled, not immediate).
+    world.run(until=ms(201))
+    for process in deployment.primary_agent._processes:
+        assert not process.is_alive, f"{process.name} leaked past stop()"
+
+
+def test_stop_resolves_pending_receipt_events(world):
+    config = NiliconConfig.nilicon().with_(staging_buffer=False)
+    deployment = make_deployment(world, config=config)
+    deployment.start()
+    world.run(until=ms(200))
+    deployment.stop()
+    assert deployment.primary_agent._receipt_events == {}
+
+
+def test_receipt_event_exists_before_state_is_sent(world):
+    config = NiliconConfig.nilicon().with_(staging_buffer=False)
+    deployment = make_deployment(world, config=config)
+    deployment.start()
+    seen = {}
+
+    def record(_engine):
+        # At pre_send the state message has NOT gone out yet; the receipt
+        # event must already be registered so an instant receipt finds it.
+        seen["registered"] = 2 in deployment.primary_agent._receipt_events
+
+    plan = FaultPlan(points=[
+        PointFault("primary.pre_send", epoch=2, action=record),
+    ]).arm(world.engine)
+    world.run(until=ms(300))
+    deployment.stop()
+    plan.disarm()
+    assert seen == {"registered": True}
+
+
+def test_crash_clears_receipt_bookkeeping(world):
+    config = NiliconConfig.nilicon().with_(staging_buffer=False)
+    deployment = make_deployment(world, config=config)
+    deployment.start()
+    world.run(until=ms(160))
+    deployment.inject_fail_stop()
+    assert deployment.primary_agent._receipt_events == {}
+    # And the crashed agent's processes die once the interrupts land.
+    world.run(until=ms(161))
+    for process in deployment.primary_agent._processes:
+        assert not process.is_alive
