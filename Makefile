@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
+.PHONY: install test lint audit races races-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -15,6 +15,27 @@ lint:
 # Epoch loop with runtime kernel-state invariant auditing enabled.
 audit:
 	PYTHONPATH=src $(PYTHON) -m repro audit
+
+# Happens-before race detection + full tie-break schedule fuzz
+# (8 permutations x 2 workloads x 3 seeds).
+races:
+	PYTHONPATH=src $(PYTHON) -m repro races --check-access
+	PYTHONPATH=src $(PYTHON) -m repro races
+	PYTHONPATH=src $(PYTHON) -m repro races --fuzz
+
+# CI subset: coverage check, detector probe and a 3-schedule fuzz on one
+# workload/seed, plus both regression knobs (which MUST be flagged).
+races-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro races --check-access
+	PYTHONPATH=src $(PYTHON) -m repro races --smoke
+	PYTHONPATH=src $(PYTHON) -m repro races --fuzz --smoke
+	PYTHONPATH=src $(PYTHON) -m repro races --smoke --knob ack-before-commit > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro races --smoke --knob release-oldest > /dev/null
+
+# Re-pin the golden per-seed trace/metrics digests after an intentional
+# behavior change (review the diff!).
+golden-regen:
+	PYTHONPATH=src $(PYTHON) -c "from repro.analysis.fuzz import write_golden; write_golden('tests/golden/digests.json')"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

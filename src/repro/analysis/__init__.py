@@ -10,32 +10,50 @@ enforce by themselves:
 * **Checkpoint completeness** — every piece of mutable kernel state must be
   covered by the checkpoint path, or failover silently diverges.
 
-This package provides the two enforcement halves:
+This package provides the enforcement layers:
 
 * :mod:`repro.analysis.linter` / :mod:`repro.analysis.rules` — ``nlint``,
-  an AST-based linter with codebase-specific rules (DET001..CKPT001), run
-  via ``python -m repro lint src/`` and in CI.
+  an AST-based linter with codebase-specific rules (DET001..CKPT001 as
+  errors, RACE001/RACE002/ORD001 as warnings), run via
+  ``python -m repro lint src/`` and in CI.
 * :mod:`repro.analysis.auditor` — a runtime state auditor invoked at epoch
   boundaries and after restore, raising :class:`InvariantViolation` with a
   state diff when kernel bookkeeping goes inconsistent.
+* :mod:`repro.analysis.races` / :mod:`repro.analysis.fuzz` — a dynamic
+  happens-before race detector (vector clocks over process wake-ups and
+  message edges) plus a tie-break schedule fuzzer proving end-to-end
+  schedule independence, run via ``python -m repro races`` and in CI.
 
-See ``docs/determinism.md`` for the rule catalogue and invariant list.
+See ``docs/determinism.md`` for the rule catalogue and invariant list,
+and ``docs/races.md`` for the race-detection machinery.
 """
 
 from repro.analysis.auditor import InvariantViolation, StateAuditor, Violation
 from repro.analysis.linter import Finding, LintContext, Rule, all_rules, lint_paths, lint_source
+from repro.analysis.races import (
+    RaceDetector,
+    RaceFinding,
+    install_detector,
+    uninstall_detector,
+    verify_access_coverage,
+)
 from repro.analysis.report import render_json, render_text
 
 __all__ = [
     "Finding",
     "InvariantViolation",
     "LintContext",
+    "RaceDetector",
+    "RaceFinding",
     "Rule",
     "StateAuditor",
     "Violation",
     "all_rules",
+    "install_detector",
     "lint_paths",
     "lint_source",
     "render_json",
     "render_text",
+    "uninstall_detector",
+    "verify_access_coverage",
 ]

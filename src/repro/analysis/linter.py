@@ -51,6 +51,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``"error"`` findings fail the build; ``"warning"`` findings (the
+    #: heuristic RACE/ORD rules) are reported but don't affect exit status.
+    severity: str = "error"
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule_id)
@@ -62,6 +65,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -179,6 +183,9 @@ class Rule:
 
     rule_id: str = ""
     summary: str = ""
+    #: Findings of this rule fail the build ("error") or merely report
+    #: ("warning").  Heuristic rules should be warnings.
+    severity: str = "error"
     #: AST node types this rule wants to see.
     interests: tuple[type, ...] = ()
 
@@ -192,6 +199,7 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=self.severity,
         )
 
 
@@ -209,8 +217,16 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
-def all_rules(select: Sequence[str] | None = None) -> list[Rule]:
-    """Instantiate registered rules (optionally only the selected ids)."""
+def all_rules(
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Rule]:
+    """Instantiate registered rules.
+
+    *select* keeps only the named ids; *ignore* then removes ids from
+    whatever *select* kept.  Unknown ids in either raise KeyError (a typo
+    in CI config should fail loudly, not silently lint nothing).
+    """
     # Rules live in their own module; importing it populates the registry.
     from repro.analysis import rules as _rules  # noqa: F401
 
@@ -221,6 +237,11 @@ def all_rules(select: Sequence[str] | None = None) -> list[Rule]:
         ids = [rid for rid in sorted(REGISTRY) if rid in set(select)]
     else:
         ids = sorted(REGISTRY)
+    if ignore:
+        unknown = sorted(set(ignore) - set(REGISTRY))
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(unknown)}")
+        ids = [rid for rid in ids if rid not in set(ignore)]
     return [REGISTRY[rid]() for rid in ids]
 
 

@@ -20,13 +20,18 @@ def render_text(findings: Sequence[Finding]) -> str:
     if not findings:
         return "nlint: no findings"
     lines = [
-        f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.message}" for f in findings
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} "
+        f"{'' if f.severity == 'error' else '[' + f.severity + '] '}{f.message}"
+        for f in findings
     ]
     by_rule: dict[str, int] = {}
     for f in findings:
         by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
     breakdown = ", ".join(f"{rid}={n}" for rid, n in sorted(by_rule.items()))
-    lines.append(f"nlint: {len(findings)} finding(s) ({breakdown})")
+    errors = sum(1 for f in findings if f.severity == "error")
+    lines.append(
+        f"nlint: {len(findings)} finding(s), {errors} error(s) ({breakdown})"
+    )
     return "\n".join(lines)
 
 

@@ -14,6 +14,21 @@ checkpoint-completeness guarantees the reproduction rests on (see
 * **CKPT001** — mutable state of checkpointable ``kernel/`` classes not
   covered by their serializer (``describe``/``metadata``/
   ``get_repair_state``), or restore paths reading keys never serialized.
+
+Race-surface rules (warnings — heuristic companions to the dynamic
+happens-before detector in :mod:`repro.analysis.races`, see
+``docs/races.md``):
+
+* **RACE001** — an instance field mutated from two or more generator
+  methods of one class with no ``record_access`` tracking, so the dynamic
+  detector is blind to its interleavings.
+* **RACE002** — check-then-act across a ``yield``: a field guards a
+  branch, the process yields (anyone may run), then the same field is
+  written without re-validation.
+* **ORD001** — waking waiters by iterating a live instance collection:
+  a callback that re-registers mutates the list mid-iteration, and the
+  wake order silently becomes insertion-order-dependent.  Swap-then-wake
+  (``waiters, self._w = self._w, []``) instead.
 """
 
 from __future__ import annotations
@@ -21,14 +36,24 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.linter import Finding, LintContext, Rule, _own_nodes, register
+from repro.analysis.linter import (
+    Finding,
+    LintContext,
+    Rule,
+    _is_generator,
+    _own_nodes,
+    register,
+)
 
 __all__ = [
     "BlockingCallInProcess",
     "BroadExceptSwallowsInterrupt",
     "CheckpointFieldCoverage",
+    "CheckThenActAcrossYield",
     "IdentityHashOrdering",
+    "LiveWaiterIteration",
     "UnorderedCollectionLeak",
+    "UntrackedSharedMutation",
     "WallClockEntropy",
 ]
 
@@ -547,3 +572,251 @@ class CheckpointFieldCoverage(Rule):
                             "serializes; restores would KeyError or default"
                         ),
                     )
+
+
+# --------------------------------------------------------------------------- #
+# RACE001 / RACE002 / ORD001 — race-surface heuristics                        #
+# --------------------------------------------------------------------------- #
+
+#: Method calls that mutate the receiver collection in place.
+_MUTATORS = frozenset(
+    {"append", "appendleft", "add", "clear", "discard", "extend", "insert",
+     "pop", "popleft", "remove", "setdefault", "update"}
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``"X"`` (one level only; ``self.a.b`` returns None)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_fields(stmt: ast.AST) -> dict[str, int]:
+    """``self.X`` fields *stmt* (and its sub-nodes) write to — via
+    direct/augmented/subscript assignment or in-place mutator calls —
+    mapped to the first line that mutates them."""
+    out: dict[str, int] = {}
+    for node in [stmt, *_own_nodes(stmt)]:
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, (ast.Delete,)):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                field = _self_attr(node.func.value)
+                if field is None and isinstance(node.func.value, ast.Subscript):
+                    field = _self_attr(node.func.value.value)
+                if field is not None:
+                    out.setdefault(field, node.lineno)
+            continue
+        for target in targets:
+            while isinstance(target, ast.Subscript):
+                target = target.value
+            field = _self_attr(target)
+            if field is not None:
+                out.setdefault(field, node.lineno)
+    return out
+
+
+def _read_fields(expr: ast.AST) -> set[str]:
+    """Names of ``self.X`` fields read anywhere inside *expr*."""
+    out: set[str] = set()
+    for node in ast.walk(expr):
+        field = _self_attr(node)
+        if field is not None:
+            out.add(field)
+    return out
+
+
+def _recorded_fields_in(node: ast.AST) -> set[str]:
+    """Field names passed (as string literals) to ``record_access`` calls
+    under *node* — mirrors the dynamic detector's coverage contract."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "record_access"
+            and len(sub.args) >= 3
+            and isinstance(sub.args[2], ast.Constant)
+            and isinstance(sub.args[2].value, str)
+        ):
+            out.add(sub.args[2].value)
+    return out
+
+
+def _contains_yield(stmt: ast.AST) -> bool:
+    return any(
+        isinstance(n, (ast.Yield, ast.YieldFrom)) for n in _own_nodes(stmt)
+    )
+
+
+@register
+class UntrackedSharedMutation(Rule):
+    """A field mutated from several generator methods with no tracking."""
+
+    rule_id = "RACE001"
+    summary = (
+        "instance field mutated from 2+ generator methods without a "
+        "record_access call; the happens-before detector cannot see its "
+        "interleavings — add record_access on the mutating paths"
+    )
+    severity = "warning"
+    interests = (ast.ClassDef,)
+
+    def visit(self, cls: ast.ClassDef, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(*_DETERMINISM_DIRS):
+            return
+        tracked = _recorded_fields_in(cls)
+        #: field -> [(method, first mutation line)]
+        writers: dict[str, list[tuple[str, int]]] = {}
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(item):
+                continue
+            fields: dict[str, int] = {}
+            for stmt in item.body:
+                for field, line in _mutated_fields(stmt).items():
+                    fields.setdefault(field, line)
+            for field, line in fields.items():
+                writers.setdefault(field, []).append((item.name, line))
+        for field in sorted(writers):
+            methods = writers[field]
+            if len(methods) < 2 or field in tracked:
+                continue
+            names = ", ".join(name for name, _ in methods)
+            yield Finding(
+                rule_id=self.rule_id,
+                path=ctx.path,
+                line=methods[0][1],
+                col=0,
+                message=(
+                    f"{cls.name}.{field} is mutated by generator methods "
+                    f"{names} but never passed to record_access; its "
+                    "interleavings are invisible to `repro races`"
+                ),
+                severity=self.severity,
+            )
+
+
+@register
+class CheckThenActAcrossYield(Rule):
+    """A guard read before a yield, acted on after — the check may be stale."""
+
+    rule_id = "RACE002"
+    summary = (
+        "field checked before a yield and written after it without "
+        "re-validation; another process may have changed it while this "
+        "one slept"
+    )
+    severity = "warning"
+    interests = (ast.ClassDef,)
+
+    def visit(self, cls: ast.ClassDef, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(*_DETERMINISM_DIRS):
+            return
+        # Fields with more than one writing method: only those can go
+        # stale under a different process while this one is suspended.
+        writer_counts: dict[str, int] = {}
+        for item in cls.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if item.name.startswith("__"):
+                    continue  # initialization isn't concurrent with anything
+                for field in {
+                    f for stmt in item.body for f in _mutated_fields(stmt)
+                }:
+                    writer_counts[field] = writer_counts.get(field, 0) + 1
+        shared = {f for f, n in writer_counts.items() if n >= 2}
+        if not shared:
+            return
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_generator(item):
+                continue
+            tracked = _recorded_fields_in(item)
+            for node in _own_nodes(item):
+                if not isinstance(node, (ast.If, ast.While)):
+                    continue
+                candidates = (_read_fields(node.test) & shared) - tracked
+                if not candidates:
+                    continue
+                yielded = False
+                for stmt in node.body:
+                    if not candidates:
+                        break
+                    if yielded:
+                        # A fresh re-read of the guard in a nested test
+                        # counts as re-validation.
+                        if isinstance(stmt, (ast.If, ast.While)):
+                            candidates -= _read_fields(stmt.test)
+                        mutated = _mutated_fields(stmt)
+                        stale = mutated.keys() & candidates
+                        for field in sorted(stale):
+                            yield Finding(
+                                rule_id=self.rule_id,
+                                path=ctx.path,
+                                line=mutated[field],
+                                col=stmt.col_offset,
+                                message=(
+                                    f"{cls.name}.{item.name} checks "
+                                    f"self.{field} before a yield and "
+                                    "writes it after without re-checking; "
+                                    "the guard may be stale by the time "
+                                    "this process resumes"
+                                ),
+                                severity=self.severity,
+                            )
+                        candidates -= stale
+                    if _contains_yield(stmt):
+                        yielded = True
+
+
+@register
+class LiveWaiterIteration(Rule):
+    """Waking events by iterating the live registration list."""
+
+    rule_id = "ORD001"
+    summary = (
+        "succeed()/fail() while iterating a live self.<attr> collection; "
+        "a resumed callback that re-registers mutates it mid-iteration — "
+        "swap first: waiters, self.attr = self.attr, []"
+    )
+    severity = "warning"
+    interests = (ast.For,)
+
+    def visit(self, node: ast.For, ctx: LintContext) -> Iterator[Finding]:
+        if not ctx.in_dirs(*_DETERMINISM_DIRS, "container", "net"):
+            return
+        field = _self_attr(node.iter)
+        if field is None:
+            return
+        if not isinstance(node.target, ast.Name):
+            return
+        var = node.target.id
+        for sub in _own_nodes(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in ("succeed", "fail", "trigger")
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == var
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"iterating self.{field} while waking its elements; "
+                    "same-instant wake order becomes mutation-order "
+                    "dependent and re-registration corrupts the loop — "
+                    "swap the list out before iterating",
+                )
+                return

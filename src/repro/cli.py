@@ -179,6 +179,12 @@ def _cmd_trace(args) -> int:
     world.run(until=ms(args.run_ms) + (sec(3) if args.failover else 0))
     deployment.stop()
     print(tracer.timeline(args.category))
+    if tracer.dropped:
+        print(
+            f"warning: trace truncated — {tracer.dropped} event(s) dropped "
+            f"after the {tracer.limit}-event limit",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -237,10 +243,10 @@ def _cmd_lint(args) -> int:
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.rule_id}  {rule.summary}")
+            print(f"{rule.rule_id}  [{rule.severity}] {rule.summary}")
         return 0
     try:
-        rules = all_rules(select=args.select)
+        rules = all_rules(select=args.select, ignore=args.ignore)
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -251,7 +257,52 @@ def _cmd_lint(args) -> int:
         return 2
     render = render_json if args.format == "json" else render_text
     print(render(findings))
-    return 1 if findings else 0
+    # Warnings (the heuristic RACE/ORD rules) report without failing the
+    # build; only error-severity findings gate CI.
+    return 1 if any(f.severity == "error" for f in findings) else 0
+
+
+def _cmd_races(args) -> int:
+    """Happens-before race detection / tie-break schedule fuzzing."""
+    import json
+
+    from repro.analysis.fuzz import format_report, run_fuzz, run_race_probe
+    from repro.analysis.races import verify_access_coverage
+
+    if args.check_access:
+        problems = verify_access_coverage("src")
+        if problems:
+            print("record_access coverage check FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print("record_access coverage: every tracked field is instrumented.")
+        return 0
+
+    workloads = tuple(args.workload) if args.workload else None
+    seeds = tuple(args.seeds) if args.seeds else None
+    if args.fuzz:
+        report = run_fuzz(
+            workloads=workloads or (("net",) if args.smoke else ("net", "disk-rw")),
+            seeds=seeds or ((1,) if args.smoke else (1, 2, 3)),
+            permutations=args.permutations or (3 if args.smoke else 8),
+            run_ms=args.run_ms,
+        )
+    else:
+        report = run_race_probe(
+            workloads=workloads or ("net",),
+            seeds=seeds or ((1,) if args.smoke else (1, 2, 3)),
+            run_ms=max(args.run_ms, 900),
+            knob=args.knob,
+        )
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    if args.knob:
+        # Regression probe: the detector MUST flag the re-enabled race.
+        return 0 if report["findings"] else 1
+    return 0 if report["ok"] else 1
 
 
 def _cmd_audit(args) -> int:
@@ -403,8 +454,36 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--select", action="append", default=None, metavar="RULE",
                       help="run only these rule IDs (repeatable)")
+    lint.add_argument("--ignore", action="append", default=None, metavar="RULE",
+                      help="skip these rule IDs (repeatable)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
+
+    races = sub.add_parser(
+        "races",
+        help="happens-before race detection and tie-break schedule fuzzing",
+    )
+    races.add_argument("--fuzz", action="store_true",
+                       help="replay under permuted same-timestamp orderings "
+                            "and diff trace/metrics digests")
+    races.add_argument("--knob", choices=("ack-before-commit", "release-oldest"),
+                       default=None,
+                       help="re-enable a historical race; exit 0 iff the "
+                            "detector flags it")
+    races.add_argument("--check-access", action="store_true",
+                       help="verify every tracked shared field has "
+                            "record_access instrumentation and exit")
+    races.add_argument("--workload", action="append", default=None,
+                       help="workload(s) to run (repeatable)")
+    races.add_argument("--seeds", type=int, nargs="+", default=None)
+    races.add_argument("--run-ms", type=int, default=700)
+    races.add_argument("--permutations", type=int, default=None,
+                       help="alternate schedules per fuzz cell (default 8, "
+                            "smoke 3)")
+    races.add_argument("--smoke", action="store_true",
+                       help="reduced CI matrix: net workload, seed 1")
+    races.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
 
     audit = sub.add_parser(
         "audit", help="run an epoch loop with runtime invariant auditing"
@@ -444,6 +523,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "races": _cmd_races,
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,
 }

@@ -56,7 +56,7 @@ class ParasiteChannel:
                 f"parasite injection into non-frozen process {self.process.comm}"
             )
         yield self._charge(self.costs.parasite_roundtrip)
-        self.injected = True
+        self.injected = True  # nlint: disable=RACE001 -- inject/cure are phase-sequenced by one agent, never concurrent
 
     def _require_injected(self) -> None:
         if not self.injected:

@@ -37,6 +37,7 @@ from repro.net.link import Endpoint
 from repro.replication.config import NiliconConfig
 from repro.replication.drbd import BackupDrbd
 from repro.replication.heartbeat import FailureDetector
+from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
 from repro.sim.faults import fault_point
 from repro.sim.resources import Queue
@@ -196,16 +197,22 @@ class BackupAgent:
                     yield self._charge(
                         image.dirty_page_count * self.kernel.costs.decompress_per_page
                     )
+                record_access(self.engine, self, "committed_epoch", "r",
+                              site="backup.commit_loop")
                 if epoch <= self.committed_epoch:
                     self._send_ack(epoch)
                     continue
                 if epoch > self.committed_epoch + 1:
+                    record_access(self.engine, self, "epoch_stash", "w", key=epoch,
+                                  site="backup.park_out_of_order")
                     self._out_of_order[epoch] = (image, delivery)
                     continue
                 yield from self._receive_and_commit(epoch, image, delivery)
                 while self.committed_epoch + 1 in self._out_of_order:
                     next_epoch = self.committed_epoch + 1
-                    image, delivery = self._out_of_order.pop(next_epoch)
+                    record_access(self.engine, self, "epoch_stash", "w",
+                                  key=next_epoch, site="backup.unpark")
+                    image, delivery = self._out_of_order.pop(next_epoch)  # nlint: disable=RACE001 -- tracked via record_access as "epoch_stash"
                     yield from self._receive_and_commit(next_epoch, image, delivery)
         except Interrupt:
             return  # teardown, or recovery quiescing an in-flight commit
@@ -252,6 +259,8 @@ class BackupAgent:
         *publication* section, so observers never see a half-published
         epoch: ``committed_epoch`` moves only when every store is updated.
         """
+        record_access(self.engine, self.page_store, "open_checkpoint", "w",
+                      site="backup.commit_begin")
         self.page_store.begin_checkpoint()
         pages = [
             (pimage.pid, page_idx, content)
@@ -301,8 +310,17 @@ class BackupAgent:
             self._fs_pages[(path, page_idx)] = content
         for drbd in self.drbd:
             drbd.apply_epoch(epoch)
+        record_access(self.engine, self.page_store, "open_checkpoint", "w",
+                      site="backup.commit_publish")
         self.page_store.commit_checkpoint()
         first_commit = self.committed_epoch < 0
+        record_access(self.engine, self, "committed_epoch", "w",
+                      site="backup.commit_publish")
+        # Durability-ledger write: epoch *epoch* is now fully committed.
+        # The primary's barrier release for this epoch must happen-after
+        # this point (its ordered read checks against exactly this record).
+        record_access(self.engine, f"durable:{self.spec.name}", "epoch_commit",
+                      "w", key=epoch, site="backup.commit_publish")
         self.committed_epoch = epoch
         if first_commit and self.config.detector_enabled:
             self._processes.append(self.detector.start())
@@ -327,6 +345,8 @@ class BackupAgent:
         # Capture the recovery point *now*: this is the last fully
         # committed epoch, and the quiesce below guarantees no in-flight
         # commit can bump it while the restore is being assembled.
+        record_access(self.engine, self, "committed_epoch", "r",
+                      site="backup.recover")
         self.recovered_from_epoch = self.committed_epoch
         recovery_start = self.engine.now
         costs = self.kernel.costs
@@ -343,7 +363,11 @@ class BackupAgent:
                     and process is not self.engine.active_process
                 ):
                     process.interrupt("recovering")
+            record_access(self.engine, self.page_store, "open_checkpoint", "w",
+                          site="backup.recover.abort")
             self.page_store.abort_checkpoint()
+            record_access(self.engine, self, "epoch_stash", "w",
+                          site="backup.recover.clear_stash")
             self._out_of_order.clear()
 
         # Discard everything not committed (uncommitted epochs never became

@@ -17,6 +17,7 @@ from typing import Any, Generator
 from repro.kernel.blockdev import BlockDevice
 from repro.kernel.costmodel import CostModel
 from repro.net.link import Endpoint
+from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event
 
 __all__ = ["BackupDrbd", "PrimaryDrbd"]
@@ -76,10 +77,14 @@ class BackupDrbd:
 
     # -- receive path (called by the backup agent's dispatcher) -----------------
     def on_disk_write(self, epoch: int, block_idx: int, data: bytes) -> None:
+        record_access(self.engine, self, "disk_pending", "w", key=epoch,
+                      site="drbd.on_disk_write")
         self._pending[epoch].append((block_idx, data))
         self._maybe_complete(epoch)
 
     def on_barrier(self, epoch: int, writes: int) -> None:
+        record_access(self.engine, self, "disk_pending", "w", key=epoch,
+                      site="drbd.on_barrier")
         self._barrier_counts[epoch] = writes
         self._maybe_complete(epoch)
 
@@ -110,6 +115,8 @@ class BackupDrbd:
     # -- commit / discard ----------------------------------------------------------
     def pending_write_count(self, epoch: int) -> int:
         """Buffered (uncommitted) writes held for *epoch*."""
+        record_access(self.engine, self, "disk_pending", "r", key=epoch,
+                      site="drbd.pending_count")
         return len(self._pending.get(epoch, ()))
 
     def apply_epoch(self, epoch: int) -> int:
@@ -120,6 +127,8 @@ class BackupDrbd:
         section — a recovery that interrupts the commit then sees either no
         write of the epoch applied or all of them.
         """
+        record_access(self.engine, self, "disk_pending", "w", key=epoch,
+                      site="drbd.apply_epoch")
         writes = self._pending.pop(epoch, [])
         self._barrier_counts.pop(epoch, None)
         self._complete_events.pop(epoch, None)
@@ -140,6 +149,8 @@ class BackupDrbd:
 
     def discard_uncommitted(self) -> int:
         """Failover: drop every buffered-but-uncommitted epoch."""
+        record_access(self.engine, self, "disk_pending", "w",
+                      site="drbd.discard_uncommitted")
         dropped = sum(len(v) for v in self._pending.values())
         self._pending.clear()
         self._barrier_counts.clear()

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator
 
 from repro.net.link import Endpoint
+from repro.sim.access import record_access
 from repro.sim.engine import Engine, Process
 
 __all__ = ["FailureDetector", "HeartbeatSender"]
@@ -101,6 +102,8 @@ class FailureDetector:
         return self._misses
 
     def on_heartbeat(self) -> None:
+        record_access(self.engine, self, "heartbeat_window", "w",
+                      site="detector.on_heartbeat")
         self._last_beat_at = self.engine.now
         self._misses = 0
 
@@ -124,6 +127,8 @@ class FailureDetector:
                 # misread as a failure.
                 window_start = self.engine.now
                 continue
+            record_access(self.engine, self, "heartbeat_window", "r",
+                          site="detector.window_check")
             beat_in_window = self._last_beat_at >= window_start
             window_start = self.engine.now
             if beat_in_window:

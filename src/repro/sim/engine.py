@@ -18,6 +18,24 @@ Determinism guarantees
 These two properties make every experiment in this repository exactly
 replayable from its seed, which the fault-injection campaign (50 seeded runs
 per benchmark, paper §VII-A) relies on.
+
+Schedule-independence checking
+------------------------------
+
+The insertion-order tie-break is a *default*, not something protocol code
+may rely on.  Two hooks make that a checked property (see ``docs/races.md``):
+
+* :meth:`Engine.set_tiebreak` installs a policy that deterministically
+  permutes the order of same-timestamp events scheduled from *different*
+  contexts (a context is one callback invocation; events scheduled by the
+  same context keep their relative order, which preserves per-sender FIFO).
+  The schedule fuzzer replays workloads under such permutations and diffs
+  their digests.
+* An installed :class:`repro.analysis.races.RaceDetector` (via
+  ``engine._race_detector``) receives happens-before bookkeeping callbacks:
+  every event captures the vector clock of the context that triggered it,
+  and every process joins the clock of the event that resumed it.  All
+  hooks are a single attribute check when no detector is installed.
 """
 
 from __future__ import annotations
@@ -78,6 +96,7 @@ class Event:
         "_scheduled",
         "_defused",
         "_cancelled",
+        "_vc",
     )
 
     #: Sentinel for "not yet triggered".
@@ -91,6 +110,9 @@ class Event:
         self._scheduled = False
         self._defused = False
         self._cancelled = False
+        # Vector clock of the context that scheduled this event; set by the
+        # race detector (when installed) at _schedule() time, else stays None.
+        self._vc: Any = None
 
     # -- inspection ------------------------------------------------------
     @property
@@ -257,6 +279,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with *event*'s outcome."""
         self.engine._active_process = self
+        detector = self.engine._race_detector
+        if detector is not None:
+            detector.on_resume(self, event)
         while True:
             try:
                 if event._ok:
@@ -295,6 +320,9 @@ class Process(Event):
             if next_target.callbacks is None:
                 # Already processed: resume immediately with its value.
                 event = next_target
+                if detector is not None:
+                    # The process still happens-after the consumed event.
+                    detector.on_consume(self, event)
                 if not event._ok:
                     event._defused = True
                 continue
@@ -302,6 +330,8 @@ class Process(Event):
             self._target = next_target
             break
         self.engine._active_process = None
+        if detector is not None:
+            detector.on_resume_end(self)
 
 
 class _Condition(Event):
@@ -326,6 +356,17 @@ class _Condition(Event):
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
+    def _note_clock(self, event: Event) -> None:
+        """Fold *event*'s causal clock into the pending condition clock.
+
+        Without this, the condition event would only happen-after the
+        constituent whose firing finally triggered it; the waiter must
+        happen-after *every* constituent folded in so far.
+        """
+        detector = self.engine._race_detector
+        if detector is not None:
+            detector.on_condition_join(self, event)
+
     def _collect(self) -> dict[Event, Any]:
         # Use ``processed`` (callbacks ran) rather than ``triggered``:
         # Timeout pre-sets its value at construction, so ``triggered`` would
@@ -347,6 +388,7 @@ class AnyOf(_Condition):
             if not event._ok:
                 event._defused = True
             return
+        self._note_clock(event)
         if not event._ok:
             event._defused = True
             self.fail(event._value)
@@ -369,6 +411,7 @@ class AllOf(_Condition):
             if not event._ok:
                 event._defused = True
             return
+        self._note_clock(event)
         if not event._ok:
             event._defused = True
             self.fail(event._value)
@@ -383,9 +426,21 @@ class Engine:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._heap: list[tuple[int, int, int, Event]] = []
+        self._heap: list[tuple[int, int, int, int, Event]] = []
         self._seq: int = 0
         self._active_process: Process | None = None
+        # Monotonic id of the current callback context.  Incremented before
+        # every callback invocation in step(); events scheduled by the same
+        # callback share a context and keep their relative (FIFO) order even
+        # under tie-break permutation.
+        self._ctx_serial: int = 0
+        # Same-timestamp tie-break policy (None = insertion order).  Must
+        # expose ``key(ctx_serial) -> int``; the key slots between priority
+        # and the insertion sequence in heap entries.
+        self._tiebreak: Any = None
+        # Happens-before race detector (repro.analysis.races.RaceDetector)
+        # or None.  All hook sites cost one attribute check when None.
+        self._race_detector: Any = None
 
     # -- time --------------------------------------------------------------
     @property
@@ -415,12 +470,28 @@ class Engine:
         return AllOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
+    def set_tiebreak(self, policy: Any) -> None:
+        """Install (or clear, with None) a same-timestamp tie-break policy.
+
+        *policy* must expose ``key(ctx_serial: int) -> int``.  The key is
+        computed per scheduling context, so events scheduled by one callback
+        keep their mutual order; only the interleaving *between* contexts is
+        permuted.  Priorities (URGENT before NORMAL) are always preserved.
+        Affects only events scheduled after the call.
+        """
+        self._tiebreak = policy
+
     def _schedule(self, event: Event, priority: int, delay: int) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} is already scheduled")
         event._scheduled = True
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        tiebreak = self._tiebreak
+        key = 0 if tiebreak is None else tiebreak.key(self._ctx_serial)
+        heapq.heappush(self._heap, (self._now + delay, priority, key, self._seq, event))
+        detector = self._race_detector
+        if detector is not None:
+            detector.on_scheduled(event)
 
     def peek(self) -> int | None:
         """Timestamp of the next live event, or None if idle.
@@ -428,7 +499,7 @@ class Engine:
         Cancelled events at the head of the heap are discarded here so they
         neither advance the clock nor stall ``run(until=...)``.
         """
-        while self._heap and self._heap[0][3]._cancelled:
+        while self._heap and self._heap[0][4]._cancelled:
             heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else None
 
@@ -436,13 +507,19 @@ class Engine:
         """Process one event off the heap (skipping cancelled ones)."""
         if self.peek() is None:
             raise SimulationError("step() on an empty event heap")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _key, _seq, event = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError("event heap went backwards in time")
         self._now = when
+        detector = self._race_detector
+        if detector is not None:
+            detector.on_event_begin(event)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
+            self._ctx_serial += 1
             callback(event)
+        if detector is not None:
+            detector.on_event_end(event)
         if not event._ok and not event._defused:
             # An unhandled failure: surface it rather than losing it.
             raise event._value

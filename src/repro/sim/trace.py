@@ -39,10 +39,17 @@ class Tracer:
     def __init__(self, limit: int = 100_000) -> None:
         self.events: list[TraceEvent] = []
         self.limit = limit
+        #: Number of events discarded because ``limit`` was reached.  A
+        #: non-zero value means the log (and any digest over it) is
+        #: truncated — consumers must surface this rather than silently
+        #: comparing partial streams.
+        self.dropped = 0
 
     def emit(self, at_us: int, category: str, name: str, **detail: Any) -> None:
         if len(self.events) < self.limit:
             self.events.append(TraceEvent(at_us, category, name, detail))
+        else:
+            self.dropped += 1
 
     # -- queries -----------------------------------------------------------
     def select(self, category: str | None = None, name: str | None = None,

@@ -1,0 +1,117 @@
+"""Schedule fuzzer, digests, and golden-file pinning."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.fuzz import (
+    GOLDEN_RUN_MS,
+    GOLDEN_SEEDS,
+    ReversedTieBreak,
+    golden_digests,
+    run_fuzz,
+    run_instrumented,
+    trace_digest,
+)
+from repro.sim.trace import Tracer
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "golden" / "digests.json"
+
+
+# --------------------------------------------------------------------------- #
+# Digest mechanics                                                            #
+# --------------------------------------------------------------------------- #
+
+
+def test_trace_digest_is_order_insensitive_but_content_sensitive():
+    a, b = Tracer(), Tracer()
+    a.emit(10, "net", "send", epoch=1)
+    a.emit(20, "net", "recv", epoch=1)
+    b.emit(20, "net", "recv", epoch=1)
+    b.emit(10, "net", "send", epoch=1)
+    assert trace_digest(a) == trace_digest(b)
+
+    c = Tracer()
+    c.emit(10, "net", "send", epoch=2)  # different detail
+    c.emit(20, "net", "recv", epoch=1)
+    assert trace_digest(c) != trace_digest(a)
+
+
+def test_trace_digest_ignores_timestamps_but_counts_multiplicity():
+    a, b = Tracer(), Tracer()
+    a.emit(10, "net", "send", epoch=1)
+    b.emit(99, "net", "send", epoch=1)  # same content, shifted in time
+    assert trace_digest(a) == trace_digest(b)
+
+    b.emit(100, "net", "send", epoch=1)  # same content *twice*
+    assert trace_digest(a) != trace_digest(b)
+
+
+def test_dropped_events_poison_the_digest():
+    full = Tracer(limit=2)
+    full.emit(1, "net", "send", n=1)
+    full.emit(2, "net", "send", n=2)
+    intact = trace_digest(full)
+
+    full.emit(3, "net", "send", n=3)  # over the limit
+    assert full.dropped == 1
+    assert trace_digest(full) != intact
+
+
+# --------------------------------------------------------------------------- #
+# Instrumented runs and the fuzz grid                                         #
+# --------------------------------------------------------------------------- #
+
+
+def test_run_instrumented_clean_run_has_no_findings():
+    probe = run_instrumented("net", seed=1, run_ms=500)
+    assert probe.findings == []
+    assert probe.audit_violations == []
+    assert probe.accesses_recorded > 0
+    assert probe.trace_dropped == 0
+    assert probe.metrics["completed"] > 0
+    assert probe.metrics["errors"] == 0
+    d = probe.as_dict()
+    assert d["schedule"] == "fifo"
+    assert d["trace_digest"] == probe.trace_digest
+
+
+def test_run_instrumented_is_schedule_independent():
+    base = run_instrumented("net", seed=1, run_ms=500)
+    flipped = run_instrumented(
+        "net", seed=1, run_ms=500,
+        tiebreak=ReversedTieBreak(), schedule_name="reversed",
+    )
+    assert flipped.trace_digest == base.trace_digest
+    assert flipped.metrics_digest == base.metrics_digest
+
+
+def test_run_fuzz_small_grid_converges():
+    report = run_fuzz(
+        workloads=("net",), seeds=(1,), permutations=2, run_ms=500,
+    )
+    assert report["ok"] is True
+    assert report["divergences"] == []
+    assert report["findings"] == []
+    # Alternates vs the fifo baseline: reversed + 1 permutation.
+    assert len(report["cells"]) == 2
+    assert all(c["identical"] for c in report["cells"])
+
+
+# --------------------------------------------------------------------------- #
+# Golden digests                                                              #
+# --------------------------------------------------------------------------- #
+
+
+def test_golden_digests_match_checked_in_file():
+    """Pin per-seed digests: a diff here means either a deliberate protocol
+    change (regenerate with `make golden-regen`) or an accidental
+    nondeterminism regression."""
+    on_disk = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    recomputed = golden_digests()
+    assert on_disk["run_ms"] == GOLDEN_RUN_MS
+    assert recomputed["run_ms"] == GOLDEN_RUN_MS
+    cells = [k for k in recomputed if k != "run_ms"]
+    assert len(cells) == len(GOLDEN_SEEDS) * 2  # two pinned workloads
+    for cell in cells:
+        assert on_disk[cell]["trace"] == recomputed[cell]["trace"], cell
+        assert on_disk[cell]["metrics"] == recomputed[cell]["metrics"], cell

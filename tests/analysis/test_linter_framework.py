@@ -87,6 +87,7 @@ def test_render_json_shape():
         "line": 1,
         "col": 0,
         "message": "m",
+        "severity": "error",
     }
 
 

@@ -1,0 +1,211 @@
+"""Fixture tests for the race-surface lint rules (RACE001/RACE002/ORD001)
+and for the severity / rule-filter plumbing they introduced."""
+
+import pytest
+
+from repro.analysis.linter import Finding, all_rules, lint_source
+from repro.analysis.report import render_text
+
+
+def run_rule(rule_id: str, source: str, path: str):
+    return lint_source(source, path, rules=all_rules(select=[rule_id]))
+
+
+# --------------------------------------------------------------------------- #
+# RACE001 — untracked shared mutation                                         #
+# --------------------------------------------------------------------------- #
+class TestRace001:
+    SHARED = (
+        "class Buffer:\n"
+        "    def __init__(self):\n"
+        "        self.pending = []\n"
+        "    def producer(self, engine):\n"
+        "        yield engine.timeout(1)\n"
+        "        self.pending.append(1)\n"
+        "    def consumer(self, engine):\n"
+        "        yield engine.timeout(1)\n"
+        "        self.pending.pop()\n"
+    )
+
+    def test_flags_field_mutated_by_two_generator_methods(self):
+        findings = run_rule("RACE001", self.SHARED, "src/repro/replication/x.py")
+        assert [f.rule_id for f in findings] == ["RACE001"]
+        assert findings[0].severity == "warning"
+        assert "pending" in findings[0].message
+        # Anchored at the first mutation, so a trailing suppression works.
+        assert findings[0].line == 6
+
+    def test_exempt_when_field_is_recorded(self):
+        src = self.SHARED.replace(
+            "        self.pending.append(1)\n",
+            "        self.pending.append(1)\n"
+            "        record_access(engine, self, 'pending', 'w')\n",
+        )
+        assert run_rule("RACE001", src, "src/repro/replication/x.py") == []
+
+    def test_single_mutator_is_fine(self):
+        src = (
+            "class Buffer:\n"
+            "    def __init__(self):\n"
+            "        self.pending = []\n"
+            "    def producer(self, engine):\n"
+            "        yield engine.timeout(1)\n"
+            "        self.pending.append(1)\n"
+            "    def peek(self, engine):\n"
+            "        yield engine.timeout(1)\n"
+            "        return len(self.pending)\n"
+        )
+        assert run_rule("RACE001", src, "src/repro/replication/x.py") == []
+
+    def test_non_determinism_dirs_are_exempt(self):
+        assert run_rule("RACE001", self.SHARED, "src/repro/workloads/x.py") == []
+
+    def test_suppression_on_anchor_line(self):
+        src = self.SHARED.replace(
+            "        self.pending.append(1)\n",
+            "        self.pending.append(1)"
+            "  # nlint: disable=RACE001 -- phase-sequenced\n",
+        )
+        assert run_rule("RACE001", src, "src/repro/replication/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# RACE002 — check-then-act across a yield                                     #
+# --------------------------------------------------------------------------- #
+class TestRace002:
+    STALE = (
+        "class Gate:\n"
+        "    def __init__(self):\n"
+        "        self.open = False\n"
+        "    def close(self, engine):\n"
+        "        yield engine.timeout(1)\n"
+        "        self.open = False\n"
+        "    def waiter(self, engine):\n"
+        "        if not self.open:\n"
+        "            yield engine.timeout(5)\n"
+        "            self.open = True\n"
+    )
+
+    def test_flags_stale_check_across_yield(self):
+        findings = run_rule("RACE002", self.STALE, "src/repro/replication/x.py")
+        assert [f.rule_id for f in findings] == ["RACE002"]
+        assert "open" in findings[0].message
+
+    def test_revalidation_after_yield_is_fine(self):
+        src = self.STALE.replace(
+            "            yield engine.timeout(5)\n"
+            "            self.open = True\n",
+            "            yield engine.timeout(5)\n"
+            "            if not self.open:\n"
+            "                self.open = True\n",
+        )
+        assert run_rule("RACE002", src, "src/repro/replication/x.py") == []
+
+    def test_init_does_not_count_as_concurrent_writer(self):
+        # Only __init__ and one generator write the field: not shared.
+        src = (
+            "class Gate:\n"
+            "    def __init__(self):\n"
+            "        self.open = False\n"
+            "    def waiter(self, engine):\n"
+            "        if not self.open:\n"
+            "            yield engine.timeout(5)\n"
+            "            self.open = True\n"
+        )
+        assert run_rule("RACE002", src, "src/repro/replication/x.py") == []
+
+    def test_recorded_field_is_exempt(self):
+        src = self.STALE.replace(
+            "            self.open = True\n",
+            "            self.open = True\n"
+            "            record_access(engine, self, 'open', 'w')\n",
+        )
+        assert run_rule("RACE002", src, "src/repro/replication/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# ORD001 — waking waiters from a live registration list                       #
+# --------------------------------------------------------------------------- #
+class TestOrd001:
+    def test_flags_live_iteration(self):
+        src = (
+            "class Pool:\n"
+            "    def drain(self):\n"
+            "        for ev in self.waiters:\n"
+            "            ev.succeed(None)\n"
+        )
+        findings = run_rule("ORD001", src, "src/repro/net/x.py")
+        assert [f.rule_id for f in findings] == ["ORD001"]
+        assert "waiters" in findings[0].message
+
+    def test_copy_and_swap_idioms_are_fine(self):
+        src = (
+            "class Pool:\n"
+            "    def drain_copy(self):\n"
+            "        for ev in list(self.waiters):\n"
+            "            ev.succeed(None)\n"
+            "    def drain_swap(self):\n"
+            "        waiters, self.waiters = self.waiters, []\n"
+            "        for ev in waiters:\n"
+            "            ev.succeed(None)\n"
+            "    def drain_sorted(self):\n"
+            "        for ev in sorted(self.waiters):\n"
+            "            ev.fail(None)\n"
+        )
+        assert run_rule("ORD001", src, "src/repro/net/x.py") == []
+
+    def test_iteration_without_settling_is_fine(self):
+        src = (
+            "class Pool:\n"
+            "    def count_live(self):\n"
+            "        n = 0\n"
+            "        for ev in self.waiters:\n"
+            "            n += 1\n"
+            "        return n\n"
+        )
+        assert run_rule("ORD001", src, "src/repro/net/x.py") == []
+
+
+# --------------------------------------------------------------------------- #
+# Severity and filter plumbing                                                #
+# --------------------------------------------------------------------------- #
+class TestSeverityPlumbing:
+    def test_race_rules_are_warnings_det_rules_errors(self):
+        by_id = {r.rule_id: r for r in all_rules()}
+        assert by_id["RACE001"].severity == "warning"
+        assert by_id["RACE002"].severity == "warning"
+        assert by_id["ORD001"].severity == "warning"
+        assert by_id["DET001"].severity == "error"
+
+    def test_severity_travels_into_finding_and_dict(self):
+        src = TestRace001.SHARED
+        findings = run_rule("RACE001", src, "src/repro/replication/x.py")
+        assert findings[0].severity == "warning"
+        assert findings[0].as_dict()["severity"] == "warning"
+
+    def test_all_rules_ignore_filter(self):
+        ids = {r.rule_id for r in all_rules(ignore=["RACE001", "ORD001"])}
+        assert "RACE001" not in ids and "ORD001" not in ids
+        assert "DET001" in ids
+
+    def test_unknown_ids_raise(self):
+        with pytest.raises(KeyError):
+            all_rules(select=["NOPE001"])
+        with pytest.raises(KeyError):
+            all_rules(ignore=["NOPE001"])
+
+    def test_render_text_tags_warnings(self):
+        findings = [
+            Finding(
+                rule_id="RACE001",
+                path="src/x.py",
+                line=1,
+                col=0,
+                message="m",
+                severity="warning",
+            ),
+            Finding(rule_id="DET001", path="src/x.py", line=2, col=0, message="m"),
+        ]
+        text = render_text(findings)
+        assert "[warning] " in text
+        assert "1 error(s)" in text

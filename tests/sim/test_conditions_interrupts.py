@@ -1,0 +1,224 @@
+"""Engine edge cases: conditions over settled events, interrupting
+condition waiters, and same-timestamp URGENT/NORMAL ordering."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Event, Interrupt
+from repro.sim.engine import NORMAL, URGENT
+
+
+# --------------------------------------------------------------------------- #
+# AnyOf / AllOf with already-settled constituents                             #
+# --------------------------------------------------------------------------- #
+
+
+def test_anyof_with_already_triggered_event():
+    eng = Engine()
+    done = Event(eng).succeed("early")
+    results = []
+
+    def proc():
+        got = yield AnyOf(eng, [done, eng.timeout(100)])
+        results.append((eng.now, dict(got)))
+
+    eng.process(proc())
+    eng.run()
+    assert len(results) == 1
+    at, got = results[0]
+    assert at == 0  # no waiting: one constituent was already settled
+    assert got[done] == "early"
+
+
+def test_allof_with_already_triggered_event_still_waits_for_rest():
+    eng = Engine()
+    done = Event(eng).succeed("early")
+    results = []
+
+    def proc():
+        timeout = eng.timeout(100, value="late")
+        got = yield AllOf(eng, [done, timeout])
+        results.append((eng.now, got[done], got[timeout]))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(100, "early", "late")]
+
+
+def test_allof_all_already_triggered_completes_immediately():
+    eng = Engine()
+    a = Event(eng).succeed(1)
+    b = Event(eng).succeed(2)
+    results = []
+
+    def proc():
+        got = yield AllOf(eng, [a, b])
+        results.append((eng.now, got[a], got[b]))
+
+    eng.process(proc())
+    eng.run()
+    assert results == [(0, 1, 2)]
+
+
+def test_anyof_with_failed_event_raises_in_waiter():
+    eng = Engine()
+    boom = RuntimeError("boom")
+    caught = []
+
+    def proc():
+        failed = Event(eng)
+        failed.fail(boom)
+        try:
+            yield AnyOf(eng, [failed, eng.timeout(100)])
+        except RuntimeError as exc:
+            caught.append((eng.now, exc))
+
+    eng.process(proc())
+    eng.run()
+    assert caught == [(0, boom)]
+
+
+def test_allof_fails_fast_on_constituent_failure():
+    eng = Engine()
+    boom = ValueError("nope")
+    caught = []
+
+    def proc():
+        failing = Event(eng)
+        eng.process(_fail_later(eng, failing, boom, at=50))
+        try:
+            yield AllOf(eng, [failing, eng.timeout(100)])
+        except ValueError:
+            caught.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    # The condition fails when the constituent fails, not at the horizon.
+    assert caught == [50]
+
+
+def _fail_later(eng, event, exc, at):
+    yield eng.timeout(at)
+    event.fail(exc)
+
+
+# --------------------------------------------------------------------------- #
+# Interrupting a process blocked on a condition                               #
+# --------------------------------------------------------------------------- #
+
+
+def test_interrupt_while_blocked_on_anyof():
+    eng = Engine()
+    log = []
+
+    def waiter():
+        try:
+            yield AnyOf(eng, [eng.timeout(1_000), eng.timeout(2_000)])
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", eng.now, intr.cause))
+            # The process must remain usable after the interrupt.
+            yield eng.timeout(10)
+            log.append(("resumed", eng.now))
+
+    proc = eng.process(waiter())
+
+    def interrupter():
+        yield eng.timeout(100)
+        proc.interrupt(cause="hurry")
+
+    eng.process(interrupter())
+    eng.run()
+    assert log == [("interrupted", 100, "hurry"), ("resumed", 110)]
+
+
+def test_interrupt_while_blocked_on_allof_condition_keeps_engine_running():
+    eng = Engine()
+    log = []
+    slow = []
+
+    def slow_proc():
+        yield eng.timeout(500)
+        slow.append(eng.now)
+
+    def waiter():
+        try:
+            yield AllOf(eng, [eng.timeout(1_000), eng.timeout(50)])
+        except Interrupt:
+            log.append(eng.now)
+
+    proc = eng.process(waiter())
+    eng.process(slow_proc())
+
+    def interrupter():
+        yield eng.timeout(200)
+        proc.interrupt()
+
+    eng.process(interrupter())
+    eng.run()
+    assert log == [200]
+    # Unrelated work is unaffected by the waiter's demise.
+    assert slow == [500]
+
+
+# --------------------------------------------------------------------------- #
+# Same-timestamp URGENT vs NORMAL ordering                                    #
+# --------------------------------------------------------------------------- #
+
+
+def test_urgent_orders_before_normal_at_same_timestamp():
+    eng = Engine()
+    order = []
+
+    normal = Event(eng)
+    urgent = Event(eng)
+    normal.callbacks.append(lambda e: order.append("normal"))
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+
+    # Schedule NORMAL first so sequence numbers would pick it; priority
+    # must win the tie regardless of insertion order.
+    eng._schedule(normal, NORMAL, 0)
+    eng._schedule(urgent, URGENT, 0)
+    eng.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_interrupt_beats_same_time_timeout():
+    """An interrupt issued at time T is delivered before the victim's own
+    timeout firing at the same instant: the Interrupt is scheduled URGENT,
+    so it overtakes the already-queued NORMAL timeout despite the
+    timeout's earlier sequence number."""
+    eng = Engine()
+    log = []
+    proc_box = []
+
+    def interrupter():
+        # Spawned first so this resumes at t=100 *before* the victim's
+        # same-instant timeout pops (earlier sequence number).
+        yield eng.timeout(100)
+        proc_box[0].interrupt(cause="now")
+
+    def victim():
+        try:
+            yield eng.timeout(100)
+            log.append("timeout-side")
+        except Interrupt as intr:
+            log.append(("interrupt-side", eng.now, intr.cause))
+
+    eng.process(interrupter())
+    proc_box.append(eng.process(victim()))
+    eng.run()
+    assert log == [("interrupt-side", 100, "now")]
+
+
+def test_interrupt_dead_process_rejected():
+    from repro.sim import SimulationError
+
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(1)
+
+    proc = eng.process(quick())
+    eng.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()

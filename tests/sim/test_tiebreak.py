@@ -1,0 +1,114 @@
+"""Pluggable same-timestamp tie-break policies (`Engine.set_tiebreak`).
+
+The default is pure insertion order (key 0 for everything, seq decides).
+Policies permute the interleaving of *scheduling contexts* at one instant;
+events scheduled by a single callback keep their relative order, and
+priorities always outrank the policy key.
+"""
+
+from repro.analysis.fuzz import PermutedTieBreak, ReversedTieBreak
+from repro.sim import Engine, Event
+from repro.sim.engine import NORMAL, URGENT
+
+
+def _spawn_emitter(eng, order, name, delay):
+    def proc():
+        yield eng.timeout(delay)
+        order.append(name)
+
+    eng.process(proc())
+
+
+def test_default_is_insertion_order():
+    eng = Engine()
+    order = []
+    for name in ("a", "b", "c"):
+        _spawn_emitter(eng, order, name, 100)
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_reversed_tiebreak_flips_same_time_contexts():
+    eng = Engine()
+    eng.set_tiebreak(ReversedTieBreak())
+    order = []
+    for name in ("a", "b", "c"):
+        _spawn_emitter(eng, order, name, 100)
+    eng.run()
+    assert order == ["c", "b", "a"]
+
+
+def test_tiebreak_never_reorders_distinct_times():
+    eng = Engine()
+    eng.set_tiebreak(ReversedTieBreak())
+    order = []
+    _spawn_emitter(eng, order, "late", 200)
+    _spawn_emitter(eng, order, "early", 100)
+    eng.run()
+    assert order == ["early", "late"]
+
+
+def test_priority_outranks_tiebreak_key():
+    eng = Engine()
+    eng.set_tiebreak(ReversedTieBreak())
+    order = []
+
+    urgent = Event(eng)
+    normal = Event(eng)
+    normal.callbacks.append(lambda e: order.append("normal"))
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    eng._schedule(normal, NORMAL, 0)
+    eng._schedule(urgent, URGENT, 0)
+    eng.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_events_from_one_context_keep_fifo():
+    """Events scheduled by the same callback share a context serial, so a
+    permuting policy cannot reorder them against each other."""
+    eng = Engine()
+    eng.set_tiebreak(ReversedTieBreak())
+    order = []
+
+    def spawner():
+        # One resume = one scheduling context: both succeed() calls below
+        # get the same tie-break key and keep insertion order.
+        if False:
+            yield  # pragma: no cover
+        a, b = Event(eng), Event(eng)
+        a.callbacks.append(lambda e: order.append("first"))
+        b.callbacks.append(lambda e: order.append("second"))
+        a.succeed(None)
+        b.succeed(None)
+
+    eng.process(spawner())
+    eng.run()
+    assert order == ["first", "second"]
+
+
+def test_permuted_tiebreak_is_deterministic_per_seed():
+    def run(seed):
+        eng = Engine()
+        eng.set_tiebreak(PermutedTieBreak(seed))
+        order = []
+        for name in ("a", "b", "c", "d", "e"):
+            _spawn_emitter(eng, order, name, 100)
+        eng.run()
+        return order
+
+    assert run(7) == run(7)
+    # Different seeds explore different interleavings (for this particular
+    # pair; splitmix mixing makes collisions vanishingly unlikely).
+    assert run(1) != run(2) or run(1) != run(3)
+
+
+def test_set_tiebreak_affects_only_future_events():
+    eng = Engine()
+    order = []
+    for name in ("a", "b"):
+        _spawn_emitter(eng, order, name, 100)
+    # Installed after the processes' Initialize events were queued, but
+    # before their t=100 timeouts are scheduled (at first resume, t=0).
+    eng.set_tiebreak(ReversedTieBreak())
+    eng.run()
+    assert order == ["b", "a"]
