@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -31,6 +31,24 @@ races-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro races --fuzz --smoke
 	PYTHONPATH=src $(PYTHON) -m repro races --smoke --knob ack-before-commit > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro races --smoke --knob release-oldest > /dev/null
+
+# Checkpoint state-coverage: inventory self-check, static CKPT1xx pass
+# against the checked-in known-gap baseline, then the full differential
+# oracle (checkpoint -> restore -> deep-compare) over every catalog
+# workload.
+ckptcov:
+	PYTHONPATH=src $(PYTHON) -m repro ckptcov --check-inventory
+	PYTHONPATH=src $(PYTHON) -m repro ckptcov --baseline ckptcov-baseline.json \
+	  --diff --workload swaptions --workload streamcluster --workload redis \
+	  --workload ssdb --workload node --workload lighttpd --workload djcms \
+	  --workload disk-rw --workload net-echo --workload net
+
+# CI subset: self-check, baselined static pass, one oracle workload per
+# checkpoint surface (fs cache via ssdb, network stack via net-echo).
+ckptcov-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro ckptcov --check-inventory > /dev/null
+	PYTHONPATH=src $(PYTHON) -m repro ckptcov --baseline ckptcov-baseline.json \
+	  --diff --workload ssdb --workload net-echo
 
 # Re-pin the golden per-seed trace/metrics digests after an intentional
 # behavior change (review the diff!).

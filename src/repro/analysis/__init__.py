@@ -23,12 +23,42 @@ This package provides the enforcement layers:
   happens-before race detector (vector clocks over process wake-ups and
   message edges) plus a tie-break schedule fuzzer proving end-to-end
   schedule independence, run via ``python -m repro races`` and in CI.
+* :mod:`repro.analysis.coverage` / :mod:`repro.analysis.ckptdiff` — the
+  checkpoint state-coverage analyzer (``python -m repro ckptcov``): a
+  field inventory of the simulated kernel, the CKPT100..CKPT104
+  dump/restore cross-reference, and a checkpoint->restore->deep-compare
+  differential oracle over live catalog workloads.
+* :mod:`repro.analysis.baseline` — finding baselines shared by ``lint``
+  and ``ckptcov``: known findings are frozen in a checked-in file, new
+  ones gate CI.
 
 See ``docs/determinism.md`` for the rule catalogue and invariant list,
-and ``docs/races.md`` for the race-detection machinery.
+``docs/races.md`` for the race-detection machinery, and
+``docs/checkpoint-coverage.md`` for the coverage analyzer.
 """
 
 from repro.analysis.auditor import InvariantViolation, StateAuditor, Violation
+from repro.analysis.baseline import (
+    BaselinedReport,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.ckptdiff import (
+    OracleResult,
+    StateDiff,
+    compare_containers,
+    run_oracle,
+)
+from repro.analysis.coverage import (
+    COVERAGE_RULE_IDS,
+    CoverageReport,
+    Inventory,
+    analyze_coverage,
+    build_inventory,
+    inventory_selfcheck,
+)
 from repro.analysis.linter import Finding, LintContext, Rule, all_rules, lint_paths, lint_source
 from repro.analysis.races import (
     RaceDetector,
@@ -40,20 +70,35 @@ from repro.analysis.races import (
 from repro.analysis.report import render_json, render_text
 
 __all__ = [
+    "BaselinedReport",
+    "COVERAGE_RULE_IDS",
+    "CoverageReport",
     "Finding",
     "InvariantViolation",
+    "Inventory",
     "LintContext",
+    "OracleResult",
     "RaceDetector",
     "RaceFinding",
     "Rule",
     "StateAuditor",
+    "StateDiff",
     "Violation",
     "all_rules",
+    "analyze_coverage",
+    "apply_baseline",
+    "build_inventory",
+    "compare_containers",
+    "fingerprint",
     "install_detector",
+    "inventory_selfcheck",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "render_json",
     "render_text",
+    "run_oracle",
     "uninstall_detector",
     "verify_access_coverage",
+    "write_baseline",
 ]

@@ -256,10 +256,123 @@ def _cmd_lint(args) -> int:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
     render = render_json if args.format == "json" else render_text
-    print(render(findings))
-    # Warnings (the heuristic RACE/ORD rules) report without failing the
-    # build; only error-severity findings gate CI.
-    return 1 if any(f.severity == "error" for f in findings) else 0
+    if args.baseline is None:
+        print(render(findings))
+        # Warnings (the heuristic RACE/ORD rules) report without failing
+        # the build; only error-severity findings gate CI.
+        return 1 if any(f.severity == "error" for f in findings) else 0
+    return _baseline_gate(
+        findings, args.baseline, args.update_baseline, render, "repro lint"
+    )
+
+
+def _baseline_gate(findings, baseline_file, update, render, prog) -> int:
+    """Shared --baseline semantics for lint and ckptcov.
+
+    Errors always gate and are never baselined; warnings partition into
+    new (fail) / baselined (report, pass) / stale entries (report, pass).
+    """
+    from repro.analysis.baseline import (
+        BaselineError,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+    if update:
+        entries = write_baseline(baseline_file, warnings)
+        print(
+            f"{prog}: froze {len(warnings)} warning(s) "
+            f"({len(entries)} fingerprint(s)) into {baseline_file}"
+        )
+        if errors:
+            print(render(errors))
+            print(f"{prog}: {len(errors)} error(s) cannot be baselined")
+        return 1 if errors else 0
+    try:
+        baseline = load_baseline(baseline_file)
+    except BaselineError as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return 2
+    part = apply_baseline(warnings, baseline)
+    gating = errors + part.new
+    print(render(gating))
+    if part.new:
+        print(f"{prog}: {len(part.new)} new finding(s) not in {baseline_file}")
+    if part.baselined:
+        print(f"{prog}: {len(part.baselined)} known finding(s) baselined "
+              f"by {baseline_file}")
+    for fp, unused in part.stale:
+        print(f"{prog}: stale baseline entry (fixed? run --update-baseline): "
+              f"{fp} (x{unused})")
+    return 1 if gating else 0
+
+
+def _cmd_ckptcov(args) -> int:
+    """Checkpoint state-coverage analyzer (static CKPT1xx + oracle)."""
+    import json
+
+    from repro.analysis.coverage import analyze_coverage, inventory_selfcheck
+    from repro.analysis.report import render_json, render_text
+
+    if args.check_inventory:
+        problems, dispositions = inventory_selfcheck()
+        width = max(len(name) for name in dispositions)
+        for name in sorted(dispositions):
+            print(f"  {name:<{width}}  {dispositions[name]}")
+        if problems:
+            print("inventory self-check FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"inventory self-check: {len(dispositions)} class(es) accounted for.")
+        return 0
+
+    try:
+        report = analyze_coverage(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        print(f"repro ckptcov: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    render = render_json if args.json else render_text
+    status = _baseline_gate(
+        report.findings, args.baseline, args.update_baseline, render,
+        "repro ckptcov",
+    ) if args.baseline is not None else _plain_ckptcov(report, render)
+
+    if args.diff and not args.update_baseline:
+        from repro.analysis.ckptdiff import ORACLE_WORKLOADS, run_oracle
+
+        workloads = tuple(args.workload) if args.workload else ORACLE_WORKLOADS
+        uncovered = report.uncovered()
+        for name in workloads:
+            result = run_oracle(
+                name, seed=args.seed, static_uncovered=uncovered
+            )
+            if args.json:
+                print(json.dumps(result.summary(), indent=2, sort_keys=True))
+            else:
+                verdict = "clean" if result.ok else f"{len(result.diffs)} diff(s)"
+                print(f"oracle {name}: {verdict} "
+                      f"({result.fields_compared} fields compared)")
+                for diff in result.confirmed_gaps:
+                    print(f"  confirmed gap (CKPT101): {diff}")
+                for diff in result.analyzer_bugs:
+                    print(f"  ANALYZER BUG: {diff}")
+            if not result.ok:
+                status = 1
+    return status
+
+
+def _plain_ckptcov(report, render) -> int:
+    print(render(report.findings))
+    uncovered = sorted(report.uncovered())
+    if uncovered:
+        pairs = ", ".join(f"{c}.{f}" for c, f in uncovered)
+        print(f"repro ckptcov: uncovered field(s): {pairs}")
+    return 1 if any(f.severity == "error" for f in report.findings) else 0
 
 
 def _cmd_races(args) -> int:
@@ -458,6 +571,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip these rule IDs (repeatable)")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
+    lint.add_argument("--baseline", metavar="FILE", default=None,
+                      help="freeze known warnings: new ones gate CI, "
+                           "baselined ones report without failing")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline FILE from current warnings")
+
+    ckptcov = sub.add_parser(
+        "ckptcov",
+        help="checkpoint state-coverage analyzer (CKPT1xx + "
+             "checkpoint/restore differential oracle)",
+    )
+    ckptcov.add_argument("--select", action="append", default=None,
+                         metavar="RULE",
+                         help="emit only these CKPT rule IDs (repeatable)")
+    ckptcov.add_argument("--ignore", action="append", default=None,
+                         metavar="RULE",
+                         help="skip these CKPT rule IDs (repeatable)")
+    ckptcov.add_argument("--baseline", metavar="FILE", default=None,
+                         help="known-gap baseline (see ckptcov-baseline.json)")
+    ckptcov.add_argument("--update-baseline", action="store_true",
+                         help="rewrite --baseline FILE from current warnings")
+    ckptcov.add_argument("--diff", action="store_true",
+                         help="also run the checkpoint->restore->deep-compare "
+                              "differential oracle on live workloads")
+    ckptcov.add_argument("--workload", action="append", default=None,
+                         help="oracle workload(s) (repeatable; default: one "
+                              "per workload family)")
+    ckptcov.add_argument("--seed", type=int, default=1)
+    ckptcov.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+    ckptcov.add_argument("--check-inventory", action="store_true",
+                         help="verify every kernel/net class is accounted "
+                              "for by the inventory and exit")
 
     races = sub.add_parser(
         "races",
@@ -523,6 +669,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "lint": _cmd_lint,
+    "ckptcov": _cmd_ckptcov,
     "races": _cmd_races,
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,

@@ -93,6 +93,10 @@ class StateCollector:
         count = stack.socket_count
         yield self._charge(self.costs.socket_collection(count))
         out: list[dict] = []
+        # Stack-wide state first: the ephemeral-port allocator position must
+        # survive failover or new outbound connections collide with repaired
+        # ones (same 4-tuple, different universe).
+        out.append({"kind": "stack", "next_ephemeral": stack._next_ephemeral})
         for port, _listener in sorted(stack.listeners.items()):
             out.append({"kind": "listener", "port": port})
         for key in sorted(stack.connections):
@@ -124,11 +128,20 @@ class StateCollector:
         for process in container.processes:
             file_stats = yield from self.kernel.procfs.stat_mapped_files(process)
             stats.extend(file_stats)
-        return {
+        components = {
             "namespaces": container.namespaces.describe(),
             "cgroup": container.cgroup.describe(),
             "mapped_file_stats": stats,
         }
+        # Test knob: deliberately drop a dump site ("cgroup.cpuacct_usage_us")
+        # so the differential oracle can prove it detects the resulting state
+        # divergence.  Never set outside coverage tests.
+        for dotted in self.config.unsafe_drop_dump:
+            component, _, key = dotted.partition(".")
+            target = components.get(component)
+            if isinstance(target, dict):
+                target.pop(key, None)
+        return components
 
     # ------------------------------------------------------------------ #
     # Filesystem cache (SSIII)                                             #

@@ -20,8 +20,11 @@ from typing import TYPE_CHECKING, Any, Generator
 
 from repro.container.spec import ContainerSpec
 from repro.criu.config import CriuConfig
+from repro.kernel.fs import OpenFile
 from repro.kernel.kernel import Kernel
 from repro.kernel.mm import AddressSpace, Vma
+from repro.kernel.namespaces import MountEntry
+from repro.kernel.task import FdEntry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.container.runtime import Container, ContainerRuntime
@@ -73,15 +76,37 @@ class RestoreEngine:
         container = runtime.create(state.spec)
         container.veth.detach()
         yield self.kernel.charge(costs.restore_namespaces)
+        if state.namespaces is not None:
+            ns = container.namespaces
+            ns.uts_hostname = state.namespaces["uts_hostname"]
+            # Mounts added after container creation (spec mounts already
+            # exist on the fresh namespace; reconcile by mountpoint).
+            present = {m.mountpoint for m in ns.mounts}
+            for mount_desc in state.namespaces.get("mounts", ()):
+                if mount_desc["mountpoint"] not in present:
+                    ns.mounts.append(MountEntry(**mount_desc))
+            ns.version = state.namespaces["version"]
         if state.cgroup is not None:
             for key, value in state.cgroup.get("attributes", {}).items():
                 container.cgroup.attributes[key] = value
+            # cpuacct resumes from the dumped reading: the failure detector
+            # only watches increases, so the counter must not jump backwards.
+            container.cgroup.cpuacct_usage_us = state.cgroup.get(
+                "cpuacct_usage_us", 0
+            )
+            container.cgroup.version = state.cgroup.get("version", 1)
 
         # Sockets come back right after the network namespace (SSIII: "the
         # network namespace must be restored before restoring the sockets"),
         # and *before* the bulk memory restore: their retransmission timers
         # then overlap the rest of the recovery work.
         n_socks = 0
+        for sock_desc in state.sockets:
+            if sock_desc["kind"] == "stack":
+                # Stack-wide state: the ephemeral-port allocator must resume
+                # past every port the dumped connections ever used, or a
+                # post-failover connect() collides with a repaired socket.
+                container.stack._next_ephemeral = sock_desc["next_ephemeral"]
         for sock_desc in state.sockets:
             if sock_desc["kind"] == "listener":
                 listener = container.stack.socket()
@@ -131,7 +156,31 @@ class RestoreEngine:
                 + len(state.fs_page_entries) * costs.restore_pagecache_per_page
             )
 
-        # Finalization: fd tables, cgroup attach, credentials, cache warmup.
+        # fd tables: plain files reopen at their dumped offsets (after the
+        # fs-cache replay above, so files created mid-epoch exist).  Socket
+        # fds were re-established by repair mode; std streams by the runtime.
+        for process, pimage in zip(container.processes, state.processes):
+            for fd_desc in pimage.get("fd_entries", ()):
+                if fd_desc["kind"] != "file" or "path" not in fd_desc:
+                    continue
+                fs = next(
+                    (f for f in fs_list if f.exists(fd_desc["path"])), None
+                )
+                if fs is None:
+                    continue
+                open_file = OpenFile(
+                    inode=fs.lookup(fd_desc["path"]),
+                    offset=fd_desc["offset"],
+                    flags=fd_desc["flags"],
+                )
+                entry = FdEntry(
+                    fd=fd_desc["fd"], kind="file", obj=open_file,
+                    flags=fd_desc["flags"],
+                )
+                process.fds[entry.fd] = entry
+                process._next_fd = max(process._next_fd, entry.fd + 1)
+
+        # Finalization: cgroup attach, credentials, cache warmup.
         yield self.kernel.charge(costs.restore_finalize)
 
         return container

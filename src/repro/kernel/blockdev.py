@@ -26,6 +26,10 @@ WriteHook = Callable[[int, bytes], None]
 class BlockDevice:
     """A sparse array of blocks with write interception."""
 
+    #: Replicated block-for-block by DRBD (paper SSIII), not by CRIU images;
+    #: logical file content reaches the backup via DNC pages + writeback.
+    __ckpt_ignore__ = True
+
     def __init__(self, name: str, n_blocks: int = 1 << 20) -> None:
         self.name = name
         self.n_blocks = n_blocks

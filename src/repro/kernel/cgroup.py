@@ -17,19 +17,24 @@ __all__ = ["Cgroup"]
 class Cgroup:
     """One container's control group."""
 
+    #: Dumped via the statecache, not re-read every epoch (ckptcov CKPT104).
+    __ckpt_cadence__ = "infrequent"
+
     name: str
     #: Accumulated CPU usage, microseconds (``cpuacct.usage`` is ns in
     #: Linux; the unit is irrelevant as only increases are observed).
     cpuacct_usage_us: int = 0
     #: Freezer state: "THAWED" or "FROZEN".
-    freezer_state: str = "THAWED"
+    freezer_state: str = "THAWED"  # ckpt: derived -- phase flag owned by the freezer; restore thaws
     #: Config knobs captured at checkpoint (cpu shares, memory limit...).
     attributes: dict[str, int] = field(default_factory=dict)
     #: Bumped on configuration changes (not on cpuacct ticks).
     version: int = 1
 
     def charge_cpu(self, us: int) -> None:
-        self.cpuacct_usage_us += us
+        # Monotone counter: a cached (slightly stale) dump is harmless, the
+        # failure detector only watches for increases (§IV).
+        self.cpuacct_usage_us += us  # nlint: disable=CKPT104
 
     def read_cpuacct(self) -> int:
         """The detector's read of ``cpuacct.usage``."""
@@ -42,6 +47,7 @@ class Cgroup:
     def describe(self) -> dict:
         return {
             "name": self.name,
+            "cpuacct_usage_us": self.cpuacct_usage_us,
             "attributes": dict(self.attributes),
             "version": self.version,
         }

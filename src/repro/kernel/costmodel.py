@@ -39,6 +39,9 @@ class CostModel:
     may override individual fields (e.g. ablations scale one cost).
     """
 
+    #: Experiment parameters, not container state.
+    __ckpt_ignore__ = True
+
     # ------------------------------------------------------------------ #
     # Freezer (paper SSII-B, SSV-A)                                      #
     # ------------------------------------------------------------------ #

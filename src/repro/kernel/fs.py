@@ -30,7 +30,7 @@ class Inode:
     """Inode-cache entry; metadata mutations set the DNC bit."""
 
     path: str
-    ino: int = field(default_factory=lambda: next(_ino_counter))
+    ino: int = field(default_factory=lambda: next(_ino_counter))  # ckpt: derived -- host-local identity; backup allocates its own
     mode: int = 0o644
     uid: int = 0
     gid: int = 0
@@ -43,7 +43,7 @@ class Inode:
     #: Deliberately absent from metadata(): block placement is host-local
     #: (the backup's writeback allocates its own blocks); logical content
     #: reaches the backup via DNC pages + DRBD, not the block map.
-    block_map: dict[int, int] = field(default_factory=dict)  # nlint: disable=CKPT001
+    block_map: dict[int, int] = field(default_factory=dict)  # ckpt: derived  # nlint: disable=CKPT001
 
     def metadata(self) -> dict:
         return {
@@ -60,7 +60,7 @@ class Inode:
 @dataclass
 class _CachePage:
     data: bytes
-    dirty: bool = False  # needs disk writeback
+    dirty: bool = False  # ckpt: derived -- writeback bookkeeping; backup re-dirties on replay
     dnc: bool = False  # needs checkpointing
 
 
@@ -68,7 +68,7 @@ class _CachePage:
 class OpenFile:
     """An open file description (what an fd-table entry points at)."""
 
-    inode: Inode
+    inode: Inode  # ckpt: derived -- re-looked-up by path on the backup at restore
     offset: int = 0
     flags: int = 0
 
@@ -81,8 +81,8 @@ class FileSystem:
     """A filesystem instance mounted on a block device."""
 
     def __init__(self, device: BlockDevice, name: str = "fs") -> None:
-        self.device = device
-        self.name = name
+        self.device = device  # ckpt: derived -- backup mounts its own (DRBD-replicated) device
+        self.name = name  # ckpt: derived -- fixed by the ContainerSpec mounts
         self._inodes: dict[str, Inode] = {}
         self._cache: dict[tuple[int, int], _CachePage] = {}
         #: DNC tombstones: pages invalidated (truncated away) since the
@@ -90,10 +90,10 @@ class FileSystem:
         #: checkpoints would leave the backup's buffered copy of the page
         #: stale (an A-B-A the plain dirty bit cannot express).
         self._tombstones: list[tuple[str, int]] = []
-        self._next_block = 0
+        self._next_block = 0  # ckpt: derived -- block allocation is host-local (see Inode.block_map)
         #: Lifetime counters for metrics.
-        self.cache_writes = 0
-        self.writebacks = 0
+        self.cache_writes = 0  # ckpt: ephemeral -- host-local metric
+        self.writebacks = 0  # ckpt: ephemeral -- host-local metric
 
     # -- namespace ----------------------------------------------------------
     def create(self, path: str, mode: int = 0o644) -> Inode:

@@ -27,6 +27,10 @@ Hook = Callable[[str, tuple], None]
 class FtraceRegistry:
     """Registry of hook functions keyed by kernel function name."""
 
+    #: Host-side tracing infrastructure (the statecache's invalidation
+    #: source); the backup installs its own hooks at restore.
+    __ckpt_ignore__ = True
+
     def __init__(self) -> None:
         self._hooks: dict[str, list[Hook]] = defaultdict(list)
         #: Lifetime count of traced calls, per function.

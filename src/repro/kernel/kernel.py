@@ -26,6 +26,11 @@ __all__ = ["Kernel"]
 class Kernel:
     """The kernel of one simulated host."""
 
+    #: The host itself — the thing that fails.  Container state living in
+    #: kernel objects is reached through Container/Process/TcpStack, not by
+    #: checkpointing the Kernel aggregate.
+    __ckpt_ignore__ = True
+
     def __init__(self, engine: Engine, costs: CostModel, hostname: str) -> None:
         self.engine = engine
         self.costs = costs

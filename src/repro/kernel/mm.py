@@ -84,6 +84,10 @@ class Vma:
 class _TrackingState:
     """Dirty-tracking bookkeeping for one address space."""
 
+    #: This IS the soft-dirty machinery: tracking restarts fresh after every
+    #: checkpoint (clear_refs) and after restore, never round-trips.
+    __ckpt_ignore__ = True
+
     enabled: bool = False
     mode: Literal["soft_dirty", "wrprotect"] = "soft_dirty"
     dirty: set[int] = field(default_factory=set)
@@ -95,21 +99,23 @@ class AddressSpace:
     """The memory of one process (or one whole VM for the MC baseline)."""
 
     def __init__(self, costs: CostModel, name: str = "mm") -> None:
-        self.costs = costs
-        self.name = name
+        self.costs = costs  # ckpt: derived -- host infrastructure handle
+        self.name = name  # ckpt: derived -- rebuilt from container/comm at restore
         self.vmas: list[Vma] = []
         #: Resident pages: page index -> content token.
         self.pages: dict[int, bytes] = {}
-        self._tracking = _TrackingState()
+        self._tracking = _TrackingState()  # ckpt: ephemeral -- restarted fresh after restore
         #: Optional shadow observer installed by the runtime state auditor
         #: (:class:`repro.analysis.auditor.StateAuditor`); ``None`` when
         #: auditing is off, so the hot path pays one attribute test.
-        self.audit_hook: object | None = None
+        self.audit_hook: object | None = None  # ckpt: ephemeral -- observer, reinstalled by the auditor
         #: Nanoseconds of fault overhead accrued but not yet charged as
         #: simulated time; the workload driver drains this (see module doc).
+        #: KNOWN GAP (ckptcov baseline): fault time accrued but not yet
+        #: charged at freeze is lost at failover — bounded by one slice.
         self.pending_fault_ns: int = 0
         #: Lifetime fault counter (metrics).
-        self.total_faults: int = 0
+        self.total_faults: int = 0  # ckpt: ephemeral -- host-local metric
 
     # -- mapping ----------------------------------------------------------
     def mmap(self, vma: Vma) -> Vma:

@@ -24,6 +24,10 @@ _ns_ids = itertools.count(0x1000)
 
 @dataclass
 class MountEntry:
+    #: Re-dumped through the statecache (NamespaceSet bumps its version on
+    #: every mount mutation, so the cache invalidates — ckptcov CKPT104).
+    __ckpt_cadence__ = "infrequent"
+
     mountpoint: str
     source: str
     fstype: str = "ext4"
@@ -42,10 +46,14 @@ class MountEntry:
 class NetNamespace:
     """A network namespace: devices plus the TCP stack living in it."""
 
-    name: str
-    ns_id: int = field(default_factory=lambda: next(_ns_ids))
-    devices: list["NetDevice"] = field(default_factory=list)
-    stack: "TcpStack | None" = None
+    #: Identity and device wiring are rebuilt by ``runtime.create`` at
+    #: restore time (CRIU pins none of these ids across hosts).
+    __ckpt_cadence__ = "infrequent"
+
+    name: str  # ckpt: derived -- recreated from the ContainerSpec
+    ns_id: int = field(default_factory=lambda: next(_ns_ids))  # ckpt: derived -- fresh host-local id
+    devices: list["NetDevice"] = field(default_factory=list)  # ckpt: derived -- veth rebuilt at restore
+    stack: "TcpStack | None" = None  # ckpt: derived -- repaired socket-by-socket, not by reference
 
     def describe(self) -> dict[str, Any]:
         return {
@@ -65,13 +73,15 @@ class NamespaceSet:
     changes without re-collection.
     """
 
+    __ckpt_cadence__ = "infrequent"
+
     def __init__(self, name: str, netns: NetNamespace) -> None:
-        self.name = name
-        self.net = netns
+        self.name = name  # ckpt: derived -- recreated from the ContainerSpec
+        self.net = netns  # ckpt: derived -- the net namespace is rebuilt, sockets repaired into it
         self.uts_hostname = name
-        self.pid_ns_id = next(_ns_ids)
-        self.ipc_ns_id = next(_ns_ids)
-        self.mnt_ns_id = next(_ns_ids)
+        self.pid_ns_id = next(_ns_ids)  # ckpt: derived -- fresh host-local id
+        self.ipc_ns_id = next(_ns_ids)  # ckpt: derived -- fresh host-local id
+        self.mnt_ns_id = next(_ns_ids)  # ckpt: derived -- fresh host-local id
         self.mounts: list[MountEntry] = []
         #: Bumped on any namespace mutation.
         self.version = 1

@@ -44,6 +44,11 @@ _packet_ids = itertools.count(1)
 class Packet:
     """A TCP/IP packet.  ``flags`` is a set of {SYN, ACK, FIN, RST, PSH}."""
 
+    #: In-flight wire data, not container state: packets buffered at freeze
+    #: are either released by output commit or legitimately lost (TCP
+    #: retransmission recovers them); CRIU never dumps skbs.
+    __ckpt_ignore__ = True
+
     src_ip: str
     src_port: int
     dst_ip: str
@@ -69,6 +74,9 @@ class Packet:
 class _Barrier:
     """Epoch boundary marker inside a plug queue."""
 
+    #: Host-side output-commit bookkeeping; dies with the host at failover.
+    __ckpt_ignore__ = True
+
     __slots__ = ("epoch",)
 
     def __init__(self, epoch: int) -> None:
@@ -89,6 +97,10 @@ class PlugQdisc:
     never escapes before its own state is safe.  :meth:`unplug` fully opens
     the plug (used for the simple input-blocking case).
     """
+
+    #: Host-side output-commit machinery (sch_plug): the backup builds its
+    #: own fresh plug; uncommitted buffered output is deliberately dropped.
+    __ckpt_ignore__ = True
 
     def __init__(self, name: str, deliver: Callable[[Packet], None]) -> None:
         self.name = name
@@ -205,6 +217,11 @@ class PlugQdisc:
 class NetDevice:
     """A network interface: veth end of a container, or a host NIC."""
 
+    #: Recreated by the runtime on the backup (fresh veth, same ip/mac from
+    #: the spec); attachment/plug/firewall state is host-side and rebuilt by
+    #: the restore protocol, not round-tripped through images.
+    __ckpt_ignore__ = True
+
     def __init__(
         self,
         name: str,
@@ -287,6 +304,10 @@ class Bridge:
     egress port models a serial link: a packet's delivery time is
     ``max(now, port_free) + tx_time + latency``.
     """
+
+    #: Physical-network infrastructure shared by both hosts; survives the
+    #: primary's failure, never checkpointed.
+    __ckpt_ignore__ = True
 
     def __init__(
         self,

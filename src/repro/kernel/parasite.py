@@ -33,6 +33,10 @@ Transport = Literal["pipe", "shm"]
 class ParasiteChannel:
     """A parasite injected into one (frozen) process."""
 
+    #: Checkpoint-time tooling injected fresh each epoch and cured before
+    #: the container runs again; never part of the dumped state.
+    __ckpt_ignore__ = True
+
     def __init__(
         self,
         engine: Engine,

@@ -31,6 +31,9 @@ __all__ = ["ProcFs"]
 class ProcFs:
     """Cost-charging wrappers around a process's introspection interfaces."""
 
+    #: Stateless kernel interface (cost-charging views over Process state).
+    __ckpt_ignore__ = True
+
     def __init__(self, engine: Engine, costs: CostModel) -> None:
         self.engine = engine
         self.costs = costs

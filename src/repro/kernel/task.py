@@ -41,7 +41,7 @@ class Task:
 
     name: str
     tid: int = field(default_factory=lambda: next(_tid_counter))
-    state: TaskState = TaskState.RUNNING
+    state: TaskState = TaskState.RUNNING  # ckpt: derived -- scheduler/freezer phase, re-derived after restore
     registers: dict[str, int] = field(
         default_factory=lambda: {"rip": 0x400000, "rsp": 0x7FFF0000, "rax": 0}
     )
@@ -69,16 +69,19 @@ class Task:
             "sched_policy": self.sched_policy,
             "sched_priority": self.sched_priority,
             "timers": [list(t) for t in self.timers],
+            "cpu_time_us": self.cpu_time_us,
         }
 
     def restore_from(self, desc: dict[str, Any]) -> None:
         self.name = desc["name"]
+        self.tid = desc["tid"]
         self.registers = dict(desc["registers"])
         self.signal_mask = desc["signal_mask"]
         self.pending_signals = tuple(desc["pending_signals"])
         self.sched_policy = desc["sched_policy"]
         self.sched_priority = desc["sched_priority"]
         self.timers = tuple(tuple(t) for t in desc["timers"])
+        self.cpu_time_us = desc["cpu_time_us"]
 
 
 @dataclass
@@ -102,14 +105,14 @@ class Process:
     """A process: a group of tasks sharing an address space and fd table."""
 
     def __init__(self, comm: str, address_space: AddressSpace, pid: int | None = None) -> None:
-        self.comm = comm
-        self.pid = pid if pid is not None else next(_pid_counter)
+        self.comm = comm  # ckpt: derived -- fixed by the ContainerSpec, recreated at restore
+        self.pid = pid if pid is not None else next(_pid_counter)  # ckpt: derived -- host-local identity
         self.mm = address_space
         self.tasks: list[Task] = [Task(name=comm)]
         self.fds: dict[int, FdEntry] = {}
-        self._next_fd = 3  # 0-2 reserved for std streams
-        self.exited = False
-        self.exit_code: int | None = None
+        self._next_fd = 3  # ckpt: derived -- recomputed from restored fd entries (0-2 reserved for std streams)
+        self.exited = False  # ckpt: ephemeral -- a frozen (checkpointable) container has no reaped exits
+        self.exit_code: int | None = None  # ckpt: ephemeral
 
     @property
     def leader(self) -> Task:

@@ -74,7 +74,7 @@ class TcpSocket:
     """One TCP endpoint."""
 
     def __init__(self, stack: "TcpStack") -> None:
-        self.stack = stack
+        self.stack = stack  # ckpt: derived -- backref; repaired sockets are created on the new stack
         self.state = TcpState.CLOSED
         self.local_ip: str = stack.ip
         self.local_port: int = 0
@@ -90,28 +90,32 @@ class TcpSocket:
         self.write_queue: deque[tuple[int, bytes]] = deque()
         #: Received-but-unread bytes.
         self.recv_buffer: bytearray = bytearray()
-        self._recv_waiters: deque[tuple[Event, int]] = deque()
-        self._avail_waiters: deque[Event] = deque()
-        self._accept_queue: deque["TcpSocket"] = deque()
-        self._accept_waiters: deque[Event] = deque()
-        self._connect_event: Event | None = None
+        self._recv_waiters: deque[tuple[Event, int]] = deque()  # ckpt: ephemeral -- blocked readers die with the host
+        self._avail_waiters: deque[Event] = deque()  # ckpt: ephemeral
+        #: Established-but-unaccepted children.  The sockets themselves are
+        #: checkpointed via stack.connections; backlog membership is app
+        #: state the restart-safe handlers re-derive by re-accepting every
+        #: known connection after restore.
+        self._accept_queue: deque["TcpSocket"] = deque()  # ckpt: ephemeral
+        self._accept_waiters: deque[Event] = deque()  # ckpt: ephemeral
+        self._connect_event: Event | None = None  # ckpt: ephemeral
         #: Socket repair mode (kernel get/set of protected state).
-        self.repair = False
+        self.repair = False  # ckpt: ephemeral -- toggled around the dump itself
         #: True if this socket was built via repair (affects RTO patch).
-        self.restored_via_repair = False
+        self.restored_via_repair = False  # ckpt: derived -- set by the restore path itself
         #: Retransmission timeout.  A fresh socket starts at the ≥1 s
         #: default; once the connection sees acknowledgment progress the
         #: RTO collapses to the RTT-tracking minimum (200 ms on a LAN),
         #: mirroring Linux's adaptive RTO.  NiLiCon's §V-E patch applies
         #: the minimum immediately to repaired sockets, which otherwise
         #: restart at the fresh-socket default.
-        self.rto: int = stack.costs.tcp_rto_default
-        self._retx_timer: Event | None = None
-        self._retx_backoff = 1
-        self._syn_timer: Event | None = None
-        self._syn_retries = 0
+        self.rto: int = stack.costs.tcp_rto_default  # ckpt: derived -- re-derived by the §V-E rto patch on restore
+        self._retx_timer: Event | None = None  # ckpt: ephemeral -- re-armed by kick_retransmit after restore
+        self._retx_backoff = 1  # ckpt: ephemeral -- backoff restarts with the fresh timer
+        self._syn_timer: Event | None = None  # ckpt: ephemeral
+        self._syn_retries = 0  # ckpt: ephemeral
         #: Metrics: retransmitted segments.
-        self.retransmits = 0
+        self.retransmits = 0  # ckpt: ephemeral -- host-local metric
 
     # ------------------------------------------------------------------ #
     # Identification                                                      #
@@ -518,21 +522,24 @@ class TcpStack:
     """Per-network-namespace TCP state: listeners, connections, demux."""
 
     def __init__(self, engine: Engine, costs: CostModel, ip: str, name: str = "tcp") -> None:
-        self.engine = engine
-        self.costs = costs
-        self.ip = ip
-        self.name = name
-        self.device: Optional[NetDevice] = None
+        self.engine = engine  # ckpt: derived -- host infrastructure handle
+        self.costs = costs  # ckpt: derived -- host infrastructure handle
+        self.ip = ip  # ckpt: derived -- fixed by the ContainerSpec
+        self.name = name  # ckpt: derived -- fixed by the ContainerSpec
+        self.device: Optional[NetDevice] = None  # ckpt: derived -- veth rebuilt and reattached at restore
         self.listeners: dict[int, TcpSocket] = {}
         self.connections: dict[tuple[str, int, str, int], TcpSocket] = {}
+        #: Ephemeral-port allocator position; checkpointed as stack-wide
+        #: state so post-failover connects cannot collide with repaired
+        #: connections.
         self._next_ephemeral = 40_000
         #: RSTs we generated on demux miss (§III failure mode).
-        self.rsts_sent = 0
+        self.rsts_sent = 0  # ckpt: ephemeral -- host-local metric
         #: Input packets processed while the owning container was frozen but
         #: input was NOT blocked — the consistency hazard NiLiCon closes.
-        self.unblocked_input_during_freeze = 0
+        self.unblocked_input_during_freeze = 0  # ckpt: ephemeral -- host-local hazard metric
         #: Set by the freezer; checked on ingress for hazard accounting.
-        self.frozen = False
+        self.frozen = False  # ckpt: derived -- freezer phase flag
 
     def attach_device(self, device: NetDevice) -> None:
         self.device = device

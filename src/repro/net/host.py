@@ -13,6 +13,9 @@ __all__ = ["Host"]
 class Host:
     """One physical machine in the testbed."""
 
+    #: Physical machine — the fault domain itself, never checkpointed.
+    __ckpt_ignore__ = True
+
     def __init__(self, engine: Engine, costs: CostModel, name: str) -> None:
         self.engine = engine
         self.name = name

@@ -28,6 +28,9 @@ __all__ = ["Channel", "Endpoint", "Delivery"]
 class Delivery:
     """What an endpoint's receive queue yields."""
 
+    #: Replication-link wire data, not container state.
+    __ckpt_ignore__ = True
+
     message: Any
     size_bytes: int
     #: Number of chunks the payload arrived in (receiver read() granularity).
@@ -37,6 +40,9 @@ class Delivery:
 
 class Endpoint:
     """One end of a channel."""
+
+    #: Dedicated replication-link plumbing between the hosts.
+    __ckpt_ignore__ = True
 
     def __init__(self, channel: "Channel", index: int, name: str) -> None:
         self._channel = channel
@@ -60,6 +66,9 @@ class Endpoint:
 
 class Channel:
     """A bidirectional reliable link (the dedicated 10 GbE pair link)."""
+
+    #: Dedicated replication-link plumbing between the hosts.
+    __ckpt_ignore__ = True
 
     def __init__(
         self,

@@ -28,6 +28,9 @@ _ATTR = "_repro_router"
 class EndpointRouter:
     """Routes an endpoint's inbound deliveries by message container tag."""
 
+    #: Replication-channel demux on the host side; rebuilt at failover.
+    __ckpt_ignore__ = True
+
     def __init__(self, endpoint: Endpoint, engine: Engine) -> None:
         self.endpoint = endpoint
         self.engine = engine
@@ -85,6 +88,9 @@ class RoutedPort:
     """Duck-types :class:`~repro.net.link.Endpoint` for one container's
     slice of a shared channel: agents send and receive through it exactly
     as they would through a dedicated endpoint."""
+
+    #: Replication-channel demux on the host side; rebuilt at failover.
+    __ckpt_ignore__ = True
 
     def __init__(self, router: EndpointRouter, container: str) -> None:
         self._router = router

@@ -20,6 +20,9 @@ __all__ = ["World"]
 class World:
     """Container for everything one experiment run needs."""
 
+    #: Experiment scaffolding (hosts, bridge, channel); outlives failures.
+    __ckpt_ignore__ = True
+
     def __init__(
         self,
         seed: int = 1,

@@ -112,8 +112,9 @@ def test_checkpoint_captures_sockets(world):
     engine = CheckpointEngine(world.primary.kernel)
     image = checkpoint_frozen(world, container, engine)
     kinds = [s["kind"] for s in image.sockets]
-    assert kinds == ["listener"]
-    assert image.sockets[0]["port"] == 6379
+    # The stack-wide record (ephemeral-port allocator) always leads.
+    assert kinds == ["stack", "listener"]
+    assert image.sockets[1]["port"] == 6379
 
 
 def test_checkpoint_captures_fs_cache(world):
