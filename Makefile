@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -72,6 +72,24 @@ faultcampaign:
 # CI subset: every scenario (and thus every injection point) x net-echo x 3 seeds.
 faultcampaign-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro faultcampaign --smoke
+
+# Fleet orchestration: every controller-fault scenario, then the full
+# acceptance campaign (12 members / 6 hosts, sequential + concurrent host
+# loss, replayed twice for digest determinism) and the scaling benches.
+fleet:
+	PYTHONPATH=src $(PYTHON) -m repro fleet scenario
+	PYTHONPATH=src $(PYTHON) -m repro fleet campaign
+	PYTHONPATH=src $(PYTHON) -m repro fleet bench
+
+# CI subset: all scenarios + the reduced campaign and bench.
+fleet-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fleet scenario
+	PYTHONPATH=src $(PYTHON) -m repro fleet campaign --smoke
+	PYTHONPATH=src $(PYTHON) -m repro fleet bench --smoke
+
+# Regenerate the checked-in BENCH_fleet.json (review the diff!).
+fleet-bench:
+	PYTHONPATH=src $(PYTHON) -m repro fleet bench --out BENCH_fleet.json
 
 report:
 	$(PYTHON) -m repro report

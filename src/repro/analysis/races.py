@@ -440,6 +440,12 @@ TRACKED_STATE: dict[str, tuple[str, ...]] = {
     "replication/heartbeat.py": ("heartbeat_window",),
     # Per-epoch buffered mirrored writes on the backup disk.
     "replication/drbd.py": ("disk_pending",),
+    # Fleet slot bookkeeping: allocate/release/promote/commit vs the
+    # placement policy's load reads during concurrent re-protections.
+    "fleet/pool.py": ("pool_slots",),
+    # Member lifecycle state: written by the control loop *and* by
+    # migration processes.
+    "fleet/controller.py": ("member_state",),
 }
 
 

@@ -233,6 +233,17 @@ def _cmd_report(args) -> int:
         ["benchmark", "active", "backup"],
         [[r["benchmark"], r["active_cores"], r["backup_cores"]] for r in rows],
     ))
+
+    print("\n## Fleet — smoke campaign (12 members, 6 hosts, "
+          "sequential + concurrent host loss)\n")
+    from repro.experiments.fleet import run_fleet_campaign
+
+    fleet_report = run_fleet_campaign(seed=args.seed, smoke=True)
+    print(fleet_report["table"])
+    verdict = ("all oracles held; replay digest identical"
+               if fleet_report["ok"]
+               else f"{len(fleet_report['violations'])} violation(s)")
+    print(f"\ncampaign: {verdict}")
     return 0
 
 
@@ -518,6 +529,61 @@ def _cmd_faultcampaign(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_fleet(args) -> int:
+    """Cluster orchestration: scenarios, the acceptance campaign, benches."""
+    import json
+
+    from repro.experiments.fleet import (
+        format_bench,
+        format_campaign,
+        run_fleet_bench,
+        run_fleet_campaign,
+        write_bench_json,
+    )
+    from repro.fleet import FLEET_SCENARIOS, run_fleet_scenario
+
+    if args.action == "list":
+        for name, scenario in FLEET_SCENARIOS.items():
+            print(f"  {name:<36} {scenario.description.splitlines()[0]}")
+        return 0
+
+    if args.action == "scenario":
+        names = tuple(args.scenario) if args.scenario else tuple(FLEET_SCENARIOS)
+        unknown = [n for n in names if n not in FLEET_SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        failed = False
+        for name in names:
+            result = run_fleet_scenario(name, seed=args.seed)
+            verdict = "ok" if result.ok else "FAILED"
+            print(f"  {name:<36} {verdict}  "
+                  f"({result.completed} requests validated)")
+            for violation in result.violations:
+                print(f"    - {violation}")
+            failed = failed or not result.ok
+        return 1 if failed else 0
+
+    if args.action == "campaign":
+        report = run_fleet_campaign(seed=args.seed, smoke=args.smoke)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_campaign(report))
+        return 0 if report["ok"] else 1
+
+    # action == "bench"
+    report = run_fleet_bench(seed=args.seed, smoke=args.smoke)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_bench(report))
+    if args.out:
+        write_bench_json(report, args.out)
+        print(f"\nwrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -655,6 +721,23 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--check-points", action="store_true",
                           help="verify every declared fault point has a hook")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="cluster orchestration: scenarios, acceptance campaign, benches",
+    )
+    fleet.add_argument("action",
+                       choices=("campaign", "bench", "scenario", "list"))
+    fleet.add_argument("--scenario", action="append", default=None,
+                       help="fleet scenario(s) to run (repeatable; "
+                            "default: all — see `fleet list`)")
+    fleet.add_argument("--smoke", action="store_true",
+                       help="reduced CI variant of campaign/bench")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
+    fleet.add_argument("--out", default=None, metavar="FILE",
+                       help="bench only: also write the JSON report here "
+                            "(e.g. BENCH_fleet.json)")
+
     return parser
 
 
@@ -673,6 +756,7 @@ _COMMANDS = {
     "races": _cmd_races,
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,
+    "fleet": _cmd_fleet,
 }
 
 

@@ -63,6 +63,7 @@ class LiveMigration:
         config: CriuConfig | None = None,
         max_precopy_rounds: int = 8,
         dirty_threshold_pages: int = 32,
+        plug_egress_on_restore: bool = False,
     ) -> None:
         self.source_runtime = source_runtime
         self.dest_runtime = dest_runtime
@@ -71,6 +72,11 @@ class LiveMigration:
         self.config = config if config is not None else CriuConfig.nilicon()
         self.max_precopy_rounds = max_precopy_rounds
         self.dirty_threshold_pages = dirty_threshold_pages
+        #: Close the restored container's egress plug before it can run a
+        #: single slice.  Set when migrating an output-committed (NiLiCon
+        #: replicated) container: its output must stay fenced until the new
+        #: pair's replication is re-established, with no unplugged window.
+        self.plug_egress_on_restore = plug_egress_on_restore
         self.engine: Engine = source_runtime.kernel.engine
         self.checkpoint_engine = CheckpointEngine(source_runtime.kernel, self.config)
         self.restore_engine = RestoreEngine(dest_runtime.kernel, self.config)
@@ -189,6 +195,8 @@ class LiveMigration:
         self.source_runtime.containers.pop(container.name, None)
         container.veth.detach()
         new_container = yield from self.restore_engine.restore(self.dest_runtime, state)
+        if self.plug_egress_on_restore:
+            new_container.veth.egress_plug.plug()
 
         costs = self.dest_runtime.kernel.costs
         yield self.engine.timeout(costs.bridge_reconnect)

@@ -27,6 +27,7 @@ from repro.faultinject.oracles import evaluate_oracles
 from repro.faultinject.plan import FaultPlan, LinkFault, PointFault
 from repro.faultinject.points import (
     FAULT_POINTS,
+    FLEET_FAULT_POINTS,
     LINK_MESSAGE_KINDS,
     hooked_points,
     verify_hook_coverage,
@@ -35,6 +36,7 @@ from repro.faultinject.scenarios import SCENARIOS, Scenario, TARGET_EPOCH
 
 __all__ = [
     "FAULT_POINTS",
+    "FLEET_FAULT_POINTS",
     "FaultPlan",
     "LINK_MESSAGE_KINDS",
     "LinkFault",

@@ -16,6 +16,7 @@ from pathlib import Path
 
 __all__ = [
     "FAULT_POINTS",
+    "FLEET_FAULT_POINTS",
     "LINK_MESSAGE_KINDS",
     "hooked_points",
     "verify_hook_coverage",
@@ -55,6 +56,34 @@ FAULT_POINTS: dict[str, str] = {
         "images not yet materialized/restored."
     ),
 }
+
+#: Fleet-controller injection points (the control plane above the pair
+#: protocol).  Kept in their own registry so the pair-level campaign's
+#: "every point exercised" check can exclude them — pair scenarios cannot
+#: reach controller decisions — while plan validation and the AST hook
+#: coverage check (which merge both) still cover them.
+FLEET_FAULT_POINTS: dict[str, str] = {
+    "fleet.pre_reprotect": (
+        "A failover completed and the controller is about to pick a "
+        "replacement backup for the orphaned member."
+    ),
+    "fleet.mid_reprotect": (
+        "Replacement backup chosen and its slot allocated; the new "
+        "deployment has not been constructed/started yet.  A kill here is "
+        "a controller crash mid-reprotect — the persisted member intent "
+        "must let a restarted controller converge without double-allocating."
+    ),
+    "fleet.pool_exhausted": (
+        "No alive host has a free slot for a replacement backup; the "
+        "member is about to enter the degraded (running-unprotected) state."
+    ),
+    "fleet.pre_migrate": (
+        "Planned rebalancing is about to quiesce replication and move a "
+        "member's primary container to another host."
+    ),
+}
+
+FAULT_POINTS.update(FLEET_FAULT_POINTS)
 
 #: Message kinds a :class:`~repro.faultinject.plan.LinkFault` may target
 #: (the ``kind`` field of every pair-channel message).

@@ -1,0 +1,39 @@
+"""repro.fleet — cluster orchestration over NiLiCon pairs.
+
+Many replicated containers on a capacity-tracked host pool: deterministic
+placement, failure-detector-driven failover pickup, automatic
+re-protection (including degraded mode when spares run out), and planned
+live rebalancing via CRIU migration with output-commit-safe cutover.
+"""
+
+from repro.fleet.controller import FleetController, FleetMember
+from repro.fleet.metrics import FleetMetrics, MemberSummary
+from repro.fleet.placement import PlacementDecision, place, replacement_backup
+from repro.fleet.pool import HostPool, PoolExhausted
+from repro.fleet.scenarios import (
+    FLEET_SCENARIOS,
+    FleetScenario,
+    FleetScenarioResult,
+    run_fleet_scenario,
+)
+from repro.fleet.service import CounterService, FleetWorkload
+from repro.fleet.spec import FleetSpec
+
+__all__ = [
+    "FLEET_SCENARIOS",
+    "CounterService",
+    "FleetController",
+    "FleetMember",
+    "FleetMetrics",
+    "FleetScenario",
+    "FleetScenarioResult",
+    "FleetSpec",
+    "FleetWorkload",
+    "HostPool",
+    "MemberSummary",
+    "PlacementDecision",
+    "PoolExhausted",
+    "place",
+    "replacement_backup",
+    "run_fleet_scenario",
+]

@@ -1,0 +1,128 @@
+"""Deterministic placement policy for fleet members.
+
+Given a pool and a list of member names, decide which host carries each
+member's primary and which its backup.  Three strategies:
+
+* ``packed``  — first-fit in host order; maximizes sharing of hosts and
+  pair links (the contention-heavy corner, used by the bench sweep).
+* ``spread``  — least-loaded host first, and for backups additionally the
+  host forming the *least-used* (primary, backup) pair — soft
+  anti-affinity, so one host-pair failure hits as few members as possible.
+* ``random``  — seeded shuffle among feasible hosts; the seed is mixed
+  with the member name through CRC32 (never Python's salted ``hash``), so
+  the same seed always yields the same placement.
+
+All strategies enforce the hard constraints: a member's primary and backup
+are different hosts, both alive, both with free capacity.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+
+from repro.fleet.pool import HostPool, PoolExhausted
+from repro.net.host import Host
+
+__all__ = ["PlacementDecision", "place", "pick_host", "replacement_backup",
+           "STRATEGIES"]
+
+STRATEGIES = ("packed", "spread", "random")
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    member: str
+    primary: str
+    backup: str
+
+
+def _stable_rng(seed: int, member: str, role: str) -> random.Random:
+    return random.Random(zlib.crc32(f"{seed}:{member}:{role}".encode()))
+
+
+def pick_host(
+    pool: HostPool,
+    strategy: str,
+    seed: int,
+    member: str,
+    role: str,
+    exclude: tuple[str, ...] = (),
+    primary: Host | None = None,
+) -> Host | None:
+    """Choose a host for one role, or None if the pool cannot satisfy it."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown placement strategy {strategy!r}")
+    order = {name: i for i, name in enumerate(pool.hosts)}
+    feasible = [
+        host
+        for host in pool.alive_hosts()
+        if host.name not in exclude and pool.free_slots(host.name) > 0
+    ]
+    if not feasible:
+        return None
+    if strategy == "packed":
+        return min(feasible, key=lambda h: order[h.name])
+    if strategy == "spread":
+        if role == "backup" and primary is not None:
+            return min(
+                feasible,
+                key=lambda h: (
+                    pool.pair_count(primary.name, h.name),
+                    pool.load(h.name),
+                    order[h.name],
+                ),
+            )
+        return min(feasible, key=lambda h: (pool.load(h.name), order[h.name]))
+    rng = _stable_rng(seed, member, role)
+    return feasible[rng.randrange(len(feasible))]
+
+
+def place(
+    pool: HostPool,
+    members: list[str],
+    strategy: str = "spread",
+    seed: int = 0,
+) -> list[PlacementDecision]:
+    """Place every member, allocating its slots in *pool* as it goes.
+
+    Members are placed in list order, so the decision sequence (and every
+    downstream trace) is a pure function of (pool state, members, strategy,
+    seed).
+    """
+    decisions = []
+    for member in members:
+        primary = pick_host(pool, strategy, seed, member, "primary")
+        if primary is None:
+            raise PoolExhausted(f"no host for {member}'s primary")
+        pool.allocate(member, "primary", primary)
+        backup = pick_host(
+            pool, strategy, seed, member, "backup",
+            exclude=(primary.name,), primary=primary,
+        )
+        if backup is None:
+            pool.release(member, "primary")
+            raise PoolExhausted(f"no backup host for {member}")
+        pool.allocate(member, "backup", backup)
+        decisions.append(PlacementDecision(member, primary.name, backup.name))
+    return decisions
+
+
+def replacement_backup(
+    pool: HostPool,
+    member: str,
+    primary_host: Host,
+    strategy: str = "spread",
+    seed: int = 0,
+    exclude: tuple[str, ...] = (),
+) -> Host | None:
+    """Select (but do not allocate) a new backup host for re-protection.
+
+    Returns None when the pool is exhausted — the caller degrades the
+    member rather than crash, and retries when capacity returns.
+    """
+    return pick_host(
+        pool, strategy, seed, member, "backup",
+        exclude=(primary_host.name, *exclude), primary=primary_host,
+    )

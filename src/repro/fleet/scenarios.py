@@ -1,0 +1,365 @@
+"""Fleet fault scenarios: orchestration-layer failure modes.
+
+The pair-level catalog (:mod:`repro.faultinject.scenarios`) attacks the
+replication protocol; these attack the *controller* — crash it mid
+re-protection, cut a migration link mid-transfer, exhaust the spare pool,
+kill two primaries in the same instant.  Every scenario runs a full fleet
+with per-member validating clients, and the runner applies the same base
+oracles to all of them: no acknowledged write lost, no split brain, and
+every survivable failure ends re-protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.faultinject.plan import FaultPlan, PointFault
+from repro.fleet.controller import FleetController
+from repro.fleet.placement import PlacementDecision
+from repro.fleet.pool import HostPool
+from repro.fleet.service import FleetWorkload
+from repro.fleet.spec import FleetSpec
+from repro.net.world import World
+from repro.replication.config import NiliconConfig
+from repro.sim.units import ms, sec
+
+__all__ = ["FLEET_SCENARIOS", "FleetScenario", "FleetScenarioResult",
+           "run_fleet_scenario"]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One orchestration-layer fault experiment."""
+
+    name: str
+    description: str
+    fleet: FleetSpec
+    #: Fault points this scenario exercises (for coverage accounting).
+    points: tuple[str, ...]
+    make_plan: Callable[[World, FleetController], FaultPlan]
+    #: Spawns the scenario's failure/migration timeline on the engine.
+    schedule: Callable[[World, FleetController], None]
+    #: Scenario-specific assertions; returns violations (empty = pass).
+    check: Callable[[FleetController, FaultPlan], list[str]]
+    #: Fixed placement override (None = run the placement policy).
+    decisions: tuple[PlacementDecision, ...] | None = None
+    run_until_us: int = sec(3)
+    n_requests: int = 30
+    #: Dead members this scenario *expects* (unsurvivable by design).
+    expect_dead: tuple[str, ...] = ()
+
+
+@dataclass
+class FleetScenarioResult:
+    scenario: str
+    seed: int
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    plan_log: list[str] = field(default_factory=list)
+    states: dict[str, str] = field(default_factory=dict)
+    completed: int = 0
+
+
+FLEET_SCENARIOS: dict[str, FleetScenario] = {}
+
+
+def _register(scenario: FleetScenario) -> FleetScenario:
+    FLEET_SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def run_fleet_scenario(
+    name: str,
+    seed: int = 7,
+    config: NiliconConfig | None = None,
+) -> FleetScenarioResult:
+    """Run one fleet scenario end to end and evaluate all its oracles."""
+    scenario = FLEET_SCENARIOS[name]
+    world = World(seed=seed)
+    pool = HostPool(world, scenario.fleet.n_hosts,
+                    slots_per_host=scenario.fleet.slots_per_host)
+    controller = FleetController(
+        world, pool, fleet_spec=scenario.fleet,
+        config=config if config is not None else NiliconConfig.nilicon(),
+        seed=seed,
+    )
+    controller.deploy(
+        decisions=list(scenario.decisions) if scenario.decisions else None
+    )
+    workload = FleetWorkload(world, controller)
+    workload.attach_services()
+    workload.start_clients(n_requests=scenario.n_requests)
+    controller.start()
+    plan = scenario.make_plan(world, controller).arm(world.engine)
+    scenario.schedule(world, controller)
+    world.run(until=scenario.run_until_us)
+    controller.stop()
+    plan.disarm()
+
+    violations: list[str] = []
+    violations += workload.violations()
+    violations += controller.audit()
+    for member_name in sorted(controller.members):
+        member = controller.members[member_name]
+        if member_name in scenario.expect_dead:
+            if member.state != "dead":
+                violations.append(
+                    f"{member_name}: expected dead, is {member.state}"
+                )
+            continue
+        if member.state != "protected":
+            violations.append(
+                f"{member_name}: ended {member.state}, expected protected"
+            )
+    if scenario.points and not plan.log:
+        violations.append("fault plan never fired")
+    violations += scenario.check(controller, plan)
+
+    return FleetScenarioResult(
+        scenario=name,
+        seed=seed,
+        ok=not violations,
+        violations=violations,
+        plan_log=list(plan.log),
+        states={n: m.state for n, m in sorted(controller.members.items())},
+        completed=workload.total_completed(),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Schedule helpers                                                       #
+# --------------------------------------------------------------------- #
+def _failstop_primary_of(world: World, controller: FleetController,
+                         member: str, at_us: int) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(at_us)
+        host = controller.pool.host(controller.members[member].primary)
+        controller.inject_host_failstop(host)
+
+    world.engine.process(timeline(), name=f"failstop-{member}")
+
+
+def _expect(cond: bool, message: str) -> list[str]:
+    return [] if cond else [message]
+
+
+# --------------------------------------------------------------------- #
+# 1. Controller crash mid-re-protection                                  #
+# --------------------------------------------------------------------- #
+def _crash_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    svc0 = controller.members["svc0"]
+    return (
+        _expect(controller.controller_restarts >= 1,
+                "controller was never restarted")
+        + _expect(svc0.failovers + svc0.reprotects >= 1,
+                  "no member ever failed over")
+    )
+
+
+_register(FleetScenario(
+    name="fleet.controller_crash_mid_reprotect",
+    description=(
+        "The controller process is killed at fleet.mid_reprotect — after "
+        "committing the replacement-backup slot, before re-protection "
+        "finishes.  The supervisor restarts it and the persisted member "
+        "intent must converge without double-allocating."
+    ),
+    fleet=FleetSpec(n_containers=4, n_hosts=4, slots_per_host=4),
+    points=("fleet.mid_reprotect",),
+    make_plan=lambda world, controller: FaultPlan(
+        points=[PointFault(point="fleet.mid_reprotect", kill=True)]
+    ),
+    schedule=lambda world, controller: _failstop_primary_of(
+        world, controller, "svc0", at_us=ms(600)
+    ),
+    check=_crash_check,
+))
+
+
+# --------------------------------------------------------------------- #
+# 2. Stalled re-protection decision                                      #
+# --------------------------------------------------------------------- #
+def _stall_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    stalled = [
+        m for m in controller.members.values()
+        if any(lat >= ms(200) for lat in m.reprotect_latencies_us)
+    ]
+    return _expect(bool(stalled),
+                   "no member's re-protection absorbed the 200ms stall")
+
+
+_register(FleetScenario(
+    name="fleet.stall_pre_reprotect",
+    description=(
+        "The re-protection decision stalls 200 ms at fleet.pre_reprotect "
+        "(slow controller).  The member stays correct — just unprotected "
+        "for longer — and the stall shows up in its re-protect latency."
+    ),
+    fleet=FleetSpec(n_containers=4, n_hosts=4, slots_per_host=4),
+    points=("fleet.pre_reprotect",),
+    make_plan=lambda world, controller: FaultPlan(
+        points=[PointFault(point="fleet.pre_reprotect", stall_us=ms(200))]
+    ),
+    schedule=lambda world, controller: _failstop_primary_of(
+        world, controller, "svc0", at_us=ms(600)
+    ),
+    check=_stall_check,
+))
+
+
+# --------------------------------------------------------------------- #
+# 3. Spare pool exhausted -> degraded -> capacity returns                #
+# --------------------------------------------------------------------- #
+def _exhausted_schedule(world: World, controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(600))
+        # Kill the host backing *both* members: repairs find no candidate.
+        controller.inject_host_failstop(controller.pool.host("node1"))
+        yield world.engine.timeout(ms(900))
+        # Capacity returns; the control loop must re-protect on its own.
+        controller.pool.add_host()
+
+    world.engine.process(timeline(), name="exhaust-timeline")
+
+
+def _exhausted_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    problems = []
+    for member in controller.members.values():
+        problems += _expect(
+            member.degraded_us > 0,
+            f"{member.name} never ran degraded (degraded_us=0)",
+        )
+        problems += _expect(
+            member.reprotects >= 1,
+            f"{member.name} was never re-protected after capacity returned",
+        )
+    return problems
+
+
+_register(FleetScenario(
+    name="fleet.pool_exhausted_degraded",
+    description=(
+        "Both members' backup host dies and no spare has a free slot: the "
+        "members must keep serving *degraded* (unprotected), then be "
+        "re-protected automatically when a host is added to the pool."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=2, slots_per_host=2),
+    points=("fleet.pool_exhausted",),
+    make_plan=lambda world, controller: FaultPlan(
+        points=[PointFault(point="fleet.pool_exhausted")]
+    ),
+    schedule=_exhausted_schedule,
+    check=_exhausted_check,
+    run_until_us=sec(4),
+))
+
+
+# --------------------------------------------------------------------- #
+# 4. Migration link cut mid-transfer                                     #
+# --------------------------------------------------------------------- #
+def _migration_cut_schedule(world: World, controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(600))
+        dest = controller.pool.host("node2")
+        yield from controller.migrate_container(
+            "svc0", dest, abort_timeout_us=ms(300)
+        )
+
+    world.engine.process(timeline(), name="migrate-timeline")
+
+
+def _migration_cut_plan(world: World, controller: FleetController) -> FaultPlan:
+    def cut_migration_link(engine) -> None:
+        member = controller.members["svc0"]
+        source = controller.pool.host(member.primary)
+        dest = controller.pool.host("node2")
+        controller.pool.channel_between(source, dest).cut()
+
+    return FaultPlan(points=[
+        PointFault(point="fleet.pre_migrate", action=cut_migration_link)
+    ])
+
+
+def _migration_cut_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    svc0 = controller.members["svc0"]
+    return (
+        _expect(svc0.migration_aborts == 1,
+                f"expected 1 aborted migration, got {svc0.migration_aborts}")
+        + _expect(svc0.migrations == 0,
+                  "migration reported success over a cut link")
+        + _expect(svc0.primary == "node0",
+                  f"svc0 primary moved to {svc0.primary} despite the abort")
+        + _expect(svc0.reprotects >= 1,
+                  "svc0 was not re-protected in place after the abort")
+    )
+
+
+_register(FleetScenario(
+    name="fleet.link_cut_during_migration",
+    description=(
+        "The migration link is cut the moment a planned migration starts: "
+        "the transfer hangs, the controller aborts and rolls back, and the "
+        "member is re-protected in place with no acknowledged write lost."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=3, slots_per_host=2),
+    points=("fleet.pre_migrate",),
+    # Pinned so the node0-node2 migration link carries *only* the
+    # migration: cutting a link shared with another member's replication
+    # pair would (correctly) partition that pair instead.
+    decisions=(
+        PlacementDecision("svc0", "node0", "node1"),
+        PlacementDecision("svc1", "node1", "node2"),
+    ),
+    make_plan=_migration_cut_plan,
+    schedule=_migration_cut_schedule,
+    check=_migration_cut_check,
+    run_until_us=sec(4),
+))
+
+
+# --------------------------------------------------------------------- #
+# 5. Two simultaneous primary fail-stops sharing one backup host         #
+# --------------------------------------------------------------------- #
+def _double_schedule(world: World, controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(600))
+        # Same instant: both primaries die; both detectors live on node2.
+        controller.inject_host_failstop(controller.pool.host("node0"))
+        controller.inject_host_failstop(controller.pool.host("node1"))
+
+    world.engine.process(timeline(), name="double-failstop")
+
+
+def _double_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    problems = []
+    for name in ("svc0", "svc1"):
+        member = controller.members[name]
+        problems += _expect(member.failovers == 1,
+                            f"{name}: failovers={member.failovers}, expected 1")
+        problems += _expect(member.primary == "node2",
+                            f"{name}: primary={member.primary}, expected node2")
+        problems += _expect(member.reprotects == 1,
+                            f"{name}: reprotects={member.reprotects}")
+    return problems
+
+
+_register(FleetScenario(
+    name="fleet.double_failure_shared_backup",
+    description=(
+        "Two members on different primary hosts share one backup host; "
+        "both primaries fail-stop in the same instant.  Both failovers "
+        "restore onto the shared host and both re-protections must land "
+        "on the one remaining spare without double-booking its slots."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=4, slots_per_host=2),
+    points=(),
+    decisions=(
+        PlacementDecision("svc0", "node0", "node2"),
+        PlacementDecision("svc1", "node1", "node2"),
+    ),
+    make_plan=lambda world, controller: FaultPlan(),
+    schedule=_double_schedule,
+    check=_double_check,
+    run_until_us=sec(4),
+))

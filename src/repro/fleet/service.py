@@ -1,0 +1,218 @@
+"""Acknowledged-write validation workload for fleet experiments.
+
+Each member runs the counter service the failover tests use: an 8-byte
+``PINGxxxx`` request increments a counter page in checkpointed container
+memory and the reply carries the new count.  Replies are held behind the
+output-commit barrier until the backup commits, so *any count a client
+observed* is state the fleet must never lose — across failovers,
+re-protections and migrations the per-member count sequence must stay
+strictly increasing with no repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.kernel.netdev import NetDevice
+from repro.kernel.tcp import TcpStack
+from repro.sim import Interrupt, ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.controller import FleetController
+    from repro.net.world import World
+
+__all__ = ["CounterService", "FleetWorkload", "MemberClientStats", "PORT"]
+
+PORT = 7777
+
+
+class CounterService:
+    """The replicated workload: re-attachable after failover/migration.
+
+    ``touch_pages`` > 1 makes every request scribble on that many extra
+    heap pages (the bench uses it to fatten per-epoch state transfers and
+    expose pair-link contention); the counter semantics are unchanged.
+    """
+
+    def __init__(self, world: "World", touch_pages: int = 1) -> None:
+        self.world = world
+        self.touch_pages = touch_pages
+        self.container = None
+
+    def attach(self, container) -> None:
+        self.container = container
+        stack = container.stack
+        listener = stack.listeners.get(PORT)
+        if listener is None:
+            listener = stack.socket()
+            listener.listen(PORT)
+        self.world.engine.process(self._accept_loop(container, listener))
+        # Restored connections resume mid-stream (TCP repair mode).
+        for sock in list(stack.connections.values()):
+            self.world.engine.process(self._handler(container, sock))
+
+    def _counter_page(self, container):
+        return container.heap_vma.start  # counter lives in page 0 of heap
+
+    def read_counter(self, container) -> int:
+        raw = container.processes[0].mm.read(self._counter_page(container))
+        return int(raw or b"0")
+
+    def _accept_loop(self, container, listener):
+        while not container.dead:
+            try:
+                child = yield listener.accept()
+            except Interrupt:
+                return
+            self.world.engine.process(self._handler(container, child))
+
+    def _handler(self, container, sock):
+        proc = container.processes[0]
+        page = self._counter_page(container)
+        buffered = b""
+        while not container.dead:
+            try:
+                data = yield sock.recv(4096)
+            except Interrupt:
+                return
+            except Exception:
+                return
+            if data == b"":
+                return
+            buffered += data
+            while len(buffered) >= 8:
+                request, buffered = buffered[:8], buffered[8:]
+                if container.dead:
+                    return
+
+                def mutate():
+                    value = int(proc.mm.read(page) or b"0") + 1
+                    proc.mm.write(page, str(value).encode())
+                    for extra in range(1, self.touch_pages):
+                        proc.mm.write(page + extra, f"v{value}".encode())
+
+                try:
+                    yield from container.run_slice(proc, 200, mutate=mutate)
+                except Interrupt:
+                    return
+                except Exception:
+                    return
+                count = int(proc.mm.read(page) or b"0")
+                sock.send(b"PONG" + str(count).zfill(8).encode())
+
+
+@dataclass
+class MemberClientStats:
+    """One client's observations of one member."""
+
+    member: str
+    completed: int = 0
+    reconnects: int = 0
+    errors: list[str] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+    #: Sum of request round-trip times (send -> full acked reply).
+    total_latency_us: int = 0
+
+    def mean_latency_us(self) -> float:
+        return self.total_latency_us / self.completed if self.completed else 0.0
+
+    def violations(self) -> list[str]:
+        problems = list(self.errors)
+        for prev, cur in zip(self.counts, self.counts[1:]):
+            if cur <= prev:
+                problems.append(
+                    f"{self.member}: observed count {prev} -> {cur} "
+                    f"(acknowledged write lost or replayed)"
+                )
+        return problems
+
+
+class FleetWorkload:
+    """One counter service plus one validating client per fleet member."""
+
+    def __init__(self, world: "World", controller: "FleetController",
+                 gap_us: int = ms(10), touch_pages: int = 1) -> None:
+        self.world = world
+        self.controller = controller
+        self.gap_us = gap_us
+        self.touch_pages = touch_pages
+        self.services: dict[str, CounterService] = {}
+        self.stats: dict[str, MemberClientStats] = {}
+
+    def attach_services(self) -> None:
+        """Attach a service to every member and register its re-attach
+        hook with the controller; call right after ``deploy()``."""
+        for name in sorted(self.controller.members):
+            member = self.controller.members[name]
+            service = CounterService(self.world, touch_pages=self.touch_pages)
+            service.attach(member.container)
+            self.services[name] = service
+            self.controller.register_service(name, service.attach)
+
+    def start_clients(self, n_requests: int = 40) -> None:
+        for index, name in enumerate(sorted(self.controller.members)):
+            member = self.controller.members[name]
+            stack = self._make_client_stack(index)
+            stats = MemberClientStats(member=name)
+            self.stats[name] = stats
+            self.world.engine.process(
+                self._client_loop(stack, member.spec.ip, stats, n_requests),
+                name=f"fleet-client-{name}",
+            )
+
+    def _make_client_stack(self, index: int) -> TcpStack:
+        ip = f"10.0.9.{10 + index}"
+        stack = TcpStack(self.world.engine, self.world.costs, ip,
+                         name=f"fleet-client{index}")
+        device = NetDevice(f"fleet-client{index}-eth0", ip,
+                           f"cc:{index:02x}", self.world.engine)
+        stack.attach_device(device)
+        self.world.bridge.attach(device)
+        return stack
+
+    def _client_loop(self, stack, server_ip, stats, n_requests):
+        engine = self.world.engine
+        sock = stack.socket()
+        yield sock.connect(server_ip, PORT)
+        i = 0
+        while i < n_requests:
+            sent_at = engine.now
+            sock.send(f"PING{i:04d}".encode())
+            reply = b""
+            closed = False
+            while len(reply) < 12:
+                chunk = yield sock.recv(12 - len(reply))
+                if chunk == b"":
+                    closed = True
+                    break
+                reply += chunk
+            if closed:
+                # The connection died (e.g. the member is gone, or an edge
+                # the repair path does not preserve); reconnect and retry
+                # the request — the count sequence must *still* be
+                # monotonic across the retry.
+                stats.reconnects += 1
+                if stats.reconnects > 5:
+                    stats.errors.append(
+                        f"{stats.member}: gave up after 5 reconnects"
+                    )
+                    return
+                sock = stack.socket()
+                yield sock.connect(server_ip, PORT)
+                continue
+            if reply[:4] != b"PONG":
+                stats.errors.append(f"{stats.member}: bad reply {reply!r}")
+                return
+            stats.counts.append(int(reply[4:]))
+            stats.completed += 1
+            stats.total_latency_us += engine.now - sent_at
+            i += 1
+            yield engine.timeout(self.gap_us)
+
+    # -- oracles --------------------------------------------------------- #
+    def violations(self) -> list[str]:
+        return [v for s in self.stats.values() for v in s.violations()]
+
+    def total_completed(self) -> int:
+        return sum(s.completed for s in self.stats.values())

@@ -14,7 +14,7 @@ from repro.net.link import Channel
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 
-__all__ = ["World"]
+__all__ = ["World", "reset_id_counters"]
 
 
 class World:
@@ -81,3 +81,35 @@ class World:
         a.attach_endpoint(logical_name, channel.a, channel)
         b.attach_endpoint(logical_name, channel.b, channel)
         return channel
+
+
+def reset_id_counters() -> None:
+    """Rewind the process-global identity counters to their boot values.
+
+    Pids, tids, inode numbers, namespace ids, MACs, packet ids and TCP
+    initial sequence numbers come from module-level ``itertools.count``
+    streams, so a second :class:`World` built in the same process hands
+    out larger ids than the first.  That is harmless for correctness but
+    fatal for replay comparison: serialized checkpoint images embed pids
+    and inode numbers as decimal strings, so a counter crossing a digit
+    boundary between two same-seed runs changes image byte counts — and
+    with them the trace digest.  Call this before building a World whose
+    digest will be compared against another run's (the fleet campaign
+    does).  Never call it while another live World is still in use.
+    """
+    import itertools
+
+    from repro.container import runtime as _runtime
+    from repro.kernel import fs as _fs
+    from repro.kernel import namespaces as _namespaces
+    from repro.kernel import netdev as _netdev
+    from repro.kernel import task as _task
+    from repro.kernel import tcp as _tcp
+
+    _task._tid_counter = itertools.count(1000)
+    _task._pid_counter = itertools.count(100)
+    _fs._ino_counter = itertools.count(2)
+    _namespaces._ns_ids = itertools.count(0x1000)
+    _netdev._packet_ids = itertools.count(1)
+    _tcp._initial_seq = itertools.count(10_000, 7_777)
+    _runtime._mac_counter = itertools.count(1)

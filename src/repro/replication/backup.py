@@ -65,6 +65,7 @@ class BackupAgent:
         metrics: RunMetrics,
         on_failover: Callable[["Container"], None] | None = None,
         auditor: "StateAuditor | None" = None,
+        initial_epoch: int = 0,
     ) -> None:
         self.engine = engine
         self.runtime = runtime
@@ -99,8 +100,14 @@ class BackupAgent:
         self._fs_inodes: dict[str, dict] = {}
         self._fs_pages: dict[tuple[str, int], bytes] = {}
 
-        self.committed_epoch = -1
-        self.received_epoch = -1
+        #: First epoch this agent expects (continues an adopted container's
+        #: numbering after a re-pair; 0 for a fresh deployment).  The
+        #: in-order commit loop parks any epoch beyond ``committed + 1``,
+        #: so a re-paired backup must start its watermark just below the
+        #: primary's next epoch or the first transfer would park forever.
+        self.initial_epoch = initial_epoch
+        self.committed_epoch = initial_epoch - 1
+        self.received_epoch = initial_epoch - 1
         self.failed_over = False
         self.restored_container: "Container | None" = None
         #: The epoch recovery restored from, captured when recovery starts —
@@ -313,7 +320,7 @@ class BackupAgent:
         record_access(self.engine, self.page_store, "open_checkpoint", "w",
                       site="backup.commit_publish")
         self.page_store.commit_checkpoint()
-        first_commit = self.committed_epoch < 0
+        first_commit = self.committed_epoch < self.initial_epoch
         record_access(self.engine, self, "committed_epoch", "w",
                       site="backup.commit_publish")
         # Durability-ledger write: epoch *epoch* is now fully committed.

@@ -16,6 +16,7 @@ the "nine lives" the system is named for.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
 from repro.analysis.auditor import StateAuditor
@@ -32,7 +33,20 @@ from repro.replication.heartbeat import HeartbeatSender
 from repro.replication.netbuffer import NetworkBuffer
 from repro.replication.primary import PrimaryAgent
 
-__all__ = ["ReplicatedDeployment"]
+__all__ = ["ReplicatedDeployment", "scoped_fs_name"]
+
+
+def scoped_fs_name(spec_name: str, fs_name: str) -> str:
+    """Host-kernel filesystem key for *fs_name* mounted by *spec_name*.
+
+    Storage is namespaced per container: two containers on the same host
+    pair mounting the same fs name must get *distinct* disks (they used to
+    silently share one, because devices were keyed by ``fs_name`` alone).
+    Idempotent, so re-scoping an already-scoped spec (adoption after a
+    failover or migration) is a no-op.
+    """
+    prefix = f"{spec_name}:"
+    return fs_name if fs_name.startswith(prefix) else f"{prefix}{fs_name}"
 
 
 class ReplicatedDeployment:
@@ -48,15 +62,33 @@ class ReplicatedDeployment:
         backup_host: Host | None = None,
         channel: Channel | None = None,
         container: Container | None = None,
+        initial_epoch: int = 0,
     ) -> None:
         """Deploy *spec* replicated from *primary_host* to *backup_host*.
 
         Defaults to the world's standard pair and creates the container;
         pass *container* (plus hosts/channel) to adopt an already-running
         container instead — the re-protection path after a failover.
+
+        *initial_epoch* continues an adopted container's epoch numbering
+        (re-pairing after a backup-host loss, or after a migration): the
+        primary's first checkpoint is epoch *initial_epoch* and the backup
+        expects exactly it.  The stale egress barriers the adopted
+        container may still hold (epochs its dead backup never acked) then
+        drain on the first new ack — only once the new full checkpoint,
+        which supersedes them, is durable.
         """
         self.world = world
+        # Namespace every mount's backing filesystem by container, so the
+        # same fs name in two specs maps to two distinct disks.
+        scoped_mounts = [
+            (mountpoint, scoped_fs_name(spec.name, fs_name))
+            for mountpoint, fs_name in spec.mounts
+        ]
+        if scoped_mounts != spec.mounts:
+            spec = replace(spec, mounts=scoped_mounts)
         self.spec = spec
+        self.initial_epoch = initial_epoch
         self.config = config if config is not None else NiliconConfig.nilicon()
         self.on_failover = on_failover
         self.metrics = RunMetrics()
@@ -72,8 +104,18 @@ class ReplicatedDeployment:
         # replicated containers coexist on one host pair (multi-tenancy).
         from repro.net.router import EndpointRouter
 
-        primary_endpoint = EndpointRouter.attach(channel.a, engine).port(spec.name)
-        backup_endpoint = EndpointRouter.attach(channel.b, engine).port(spec.name)
+        # A pooled channel may have been provisioned in either direction
+        # (host A's end is ``.a`` for one member's pair and ``.b`` for
+        # another's); orient by which end terminates at which host, so two
+        # members replicating in opposite directions contend on opposite
+        # link directions, as they physically would.
+        primary_end, backup_end = channel.a, channel.b
+        if any(
+            ep is channel.b for ep in self.primary_host.endpoints.values()
+        ) or any(ep is channel.a for ep in self.backup_host.endpoints.values()):
+            primary_end, backup_end = channel.b, channel.a
+        primary_endpoint = EndpointRouter.attach(primary_end, engine).port(spec.name)
+        backup_endpoint = EndpointRouter.attach(backup_end, engine).port(spec.name)
 
         # -- storage: identical disks on both hosts, DRBD pair per mount ----
         self.primary_drbd: list[PrimaryDrbd] = []
@@ -119,6 +161,7 @@ class ReplicatedDeployment:
             self.container,
             input_block=self.config.input_block,
             release_oldest=self.config.unsafe_release_oldest_barrier,
+            initial_epoch=initial_epoch,
         )
         self.primary_agent = PrimaryAgent(
             container=self.container,
@@ -128,6 +171,7 @@ class ReplicatedDeployment:
             drbd=self.primary_drbd,
             metrics=self.metrics,
             auditor=self.auditor,
+            initial_epoch=initial_epoch,
         )
         self.heartbeat = HeartbeatSender(
             engine,
@@ -149,6 +193,7 @@ class ReplicatedDeployment:
             metrics=self.metrics,
             on_failover=on_failover,
             auditor=self.auditor,
+            initial_epoch=initial_epoch,
         )
 
         self._started = False
@@ -204,16 +249,20 @@ class ReplicatedDeployment:
         new_backup_host: Host,
         config: NiliconConfig | None = None,
         on_failover: Callable[[Container], None] | None = None,
+        channel: Channel | None = None,
     ) -> "ReplicatedDeployment":
         """After a failover, protect the restored container again.
 
         The restored container on the old backup host becomes the primary
         of a fresh deployment whose backup is *new_backup_host*; call
         ``start()`` on the returned deployment to resume replication.
+        Pass *channel* to reuse a provisioned (possibly shared) pair link —
+        the fleet's host pool does — instead of connecting a fresh one.
         """
         if not self.failed_over or self.restored_container is None:
             raise RuntimeError("reprotect() requires a completed failover")
-        channel = self.world.connect_pair(self.backup_host, new_backup_host)
+        if channel is None:
+            channel = self.world.connect_pair(self.backup_host, new_backup_host)
         return ReplicatedDeployment(
             self.world,
             self.spec,

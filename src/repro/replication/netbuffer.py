@@ -61,6 +61,7 @@ class NetworkBuffer:
         container: "Container",
         input_block: Literal["plug", "firewall"] = "plug",
         release_oldest: bool = False,
+        initial_epoch: int = 0,
     ) -> None:
         self.engine = engine
         self.costs = costs
@@ -72,7 +73,13 @@ class NetworkBuffer:
         self.release_oldest_mode = release_oldest
         #: Highest epoch the backup has acknowledged (set by the primary
         #: agent's ack listener before calling release_epoch).
-        self.acked_epoch = -1
+        self.acked_epoch = initial_epoch - 1
+        #: Durability-ledger floor: an adopted container may still hold
+        #: barriers of epochs its *dead* backup never committed; those
+        #: drain only once the new pairing's first full checkpoint (epoch
+        #: ``initial_epoch``), which supersedes them, is durable — so their
+        #: ordering obligation is asserted against that epoch's commit.
+        self._ledger_floor = initial_epoch
         #: Output-commit audit log.
         self.releases: list[ReleaseRecord] = []
         self._barriers_inserted = 0
@@ -118,7 +125,8 @@ class NetworkBuffer:
         record_access(self.engine, self, "egress_barrier", "w", key=barrier_epoch,
                       site="netbuffer.release_barrier")
         record_access(self.engine, f"durable:{self.container.name}", "epoch_commit",
-                      "r+", key=barrier_epoch, site="netbuffer.release_barrier")
+                      "r+", key=max(barrier_epoch, self._ledger_floor),
+                      site="netbuffer.release_barrier")
         self.releases.append(
             ReleaseRecord(
                 epoch=barrier_epoch,

@@ -57,6 +57,7 @@ class PrimaryAgent:
         drbd: list[PrimaryDrbd],
         metrics: RunMetrics,
         auditor: "StateAuditor | None" = None,
+        initial_epoch: int = 0,
     ) -> None:
         self.container = container
         self.kernel = container.kernel
@@ -74,22 +75,27 @@ class PrimaryAgent:
             collector = StateCollector(self.kernel, config.criu)
             self.state_cache = InfrequentStateCache(self.kernel, collector, container)
 
-        self.epoch = 0
+        #: Continues an adopted container's numbering (0 for a fresh pair).
+        self.epoch = initial_epoch
         self._stopped = False
+        self._quiescing = False
         self._receipt_events: dict[int, Event] = {}
         self._processes: list[Process] = []
+        self._epoch_process: Process | None = None
+        self._ack_process: Process | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                            #
     # ------------------------------------------------------------------ #
     def start(self) -> None:
         self.metrics.started_at_us = self.engine.now
-        self._processes.append(
-            self.engine.process(self._epoch_loop(), name="primary-epoch-loop")
+        self._epoch_process = self.engine.process(
+            self._epoch_loop(), name="primary-epoch-loop"
         )
-        self._processes.append(
-            self.engine.process(self._ack_loop(), name="primary-ack-loop")
+        self._ack_process = self.engine.process(
+            self._ack_loop(), name="primary-ack-loop"
         )
+        self._processes += [self._epoch_process, self._ack_process]
 
     def stop(self) -> None:
         """Stop cleanly at the next epoch boundary (experiment teardown).
@@ -106,6 +112,24 @@ class PrimaryAgent:
             if process.is_alive and process is not self.engine.active_process:
                 process.interrupt("stopped")
         self._resolve_receipts()
+
+    def quiesce(self) -> Generator[Any, Any, None]:
+        """Stop checkpointing at the next epoch boundary, gently.
+
+        Unlike :meth:`stop`, nothing is interrupted mid-cycle: the epoch
+        loop finishes its current cycle (the container ends *thawed*, input
+        unblocked) and then exits; the ack loop stays alive so in-flight
+        acknowledgments keep draining output barriers.  Used by the fleet
+        controller before re-pairing (backup-host loss) and before a
+        planned migration.  Receipt events are resolved while waiting, so a
+        non-staging cycle whose backup died mid-transfer cannot wedge the
+        loop (and with it the container) frozen forever.
+        """
+        self._quiescing = True
+        while self._epoch_process is not None and self._epoch_process.is_alive:
+            if self._receipt_events:
+                self._resolve_receipts()
+            yield self.engine.timeout(1_000)
 
     def crash(self) -> None:
         """Fail-stop: the agent dies instantly with its host.
@@ -138,9 +162,9 @@ class PrimaryAgent:
         try:
             # Seed the backup with a full checkpoint before the first epoch.
             yield from self._checkpoint_cycle(incremental=False)
-            while not self._stopped:
+            while not (self._stopped or self._quiescing):
                 yield self.engine.timeout(self.config.epoch_execute_us)
-                if self._stopped or self.kernel.failed:
+                if self._stopped or self._quiescing or self.kernel.failed:
                     return
                 yield from self._checkpoint_cycle(incremental=True)
         except Interrupt:

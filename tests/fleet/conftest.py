@@ -1,0 +1,64 @@
+"""Shared fleet test harness: build a fleet, run it, evaluate oracles."""
+
+from typing import Any, Generator
+
+import pytest
+
+from repro.fleet import (
+    FleetController,
+    FleetSpec,
+    FleetWorkload,
+    HostPool,
+)
+from repro.net import World
+from repro.replication import NiliconConfig
+from repro.sim.units import ms
+
+
+@pytest.fixture
+def world():
+    return World(seed=11)
+
+
+def build_fleet(
+    world: World,
+    fleet_spec: FleetSpec,
+    decisions=None,
+    gap_us: int = ms(15),
+    n_requests: int = 20,
+    start_clients: bool = True,
+):
+    """Deploy + attach workload + start controller; returns the triple."""
+    pool = HostPool(world, fleet_spec.n_hosts,
+                    slots_per_host=fleet_spec.slots_per_host)
+    controller = FleetController(
+        world, pool, fleet_spec=fleet_spec,
+        config=NiliconConfig.nilicon(), seed=11,
+    )
+    controller.deploy(decisions=decisions)
+    workload = FleetWorkload(world, controller, gap_us=gap_us)
+    workload.attach_services()
+    if start_clients:
+        workload.start_clients(n_requests=n_requests)
+    controller.start()
+    return pool, controller, workload
+
+
+def at(world: World, at_us: int, fn) -> None:
+    """Run *fn* at simulated time *at_us*."""
+
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(at_us)
+        fn()
+
+    world.engine.process(timeline(), name=f"at-{at_us}")
+
+
+def assert_clean(controller, workload) -> None:
+    """The base fleet oracles: no lost acks, no split brain, all protected."""
+    assert workload.violations() == []
+    assert controller.audit() == []
+    for name, member in sorted(controller.members.items()):
+        assert member.state == "protected", (
+            f"{name} ended {member.state}, expected protected"
+        )

@@ -1,0 +1,117 @@
+"""Placement policy: determinism, hard constraints, anti-affinity."""
+
+import pytest
+
+from repro.fleet import HostPool, PlacementDecision, place, replacement_backup
+from repro.fleet.placement import STRATEGIES, pick_host
+from repro.fleet.pool import PoolExhausted
+from repro.net import World
+
+MEMBERS = [f"svc{i}" for i in range(8)]
+
+
+def fresh_pool(world, n_hosts=4, slots=6):
+    return HostPool(world, n_hosts, slots_per_host=slots)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_hard_constraints_hold(world, strategy):
+    decisions = place(fresh_pool(world), list(MEMBERS), strategy, seed=3)
+    assert [d.member for d in decisions] == MEMBERS
+    for d in decisions:
+        assert d.primary != d.backup
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_same_seed_same_placement(strategy):
+    runs = []
+    for _ in range(2):
+        world = World(seed=5)
+        runs.append(place(fresh_pool(world), list(MEMBERS), strategy, seed=9))
+    assert runs[0] == runs[1]
+
+
+def test_random_strategy_uses_the_seed():
+    world = World(seed=5)
+    a = place(fresh_pool(world), list(MEMBERS), "random", seed=1)
+    world = World(seed=5)
+    b = place(fresh_pool(world), list(MEMBERS), "random", seed=2)
+    # Different seeds must be allowed to differ (and do, for 8 members
+    # over 4 hosts; equality here would mean the seed is ignored).
+    assert a != b
+
+
+def test_packed_fills_hosts_in_order(world):
+    pool = fresh_pool(world)
+    decisions = place(pool, list(MEMBERS), "packed", seed=0)
+    # First-fit: every primary lands on the lowest-indexed host with room.
+    assert decisions[0] == PlacementDecision("svc0", "node0", "node1")
+    assert pool.load("node0") == 6  # filled to capacity first
+
+
+def test_spread_balances_load(world):
+    # Spread trades perfect balance for pair anti-affinity (backups rank
+    # pair_count before load), so allow a spread of 2 — but never the
+    # pile-up packed produces.
+    pool = fresh_pool(world)
+    place(pool, list(MEMBERS), "spread", seed=0)
+    loads = [pool.load(name) for name in pool.hosts]
+    assert max(loads) - min(loads) <= 2
+
+
+def _max_pair_usage(decisions):
+    pair_sizes = {}
+    for d in decisions:
+        pair_sizes[(d.primary, d.backup)] = pair_sizes.get(
+            (d.primary, d.backup), 0
+        ) + 1
+    return max(pair_sizes.values())
+
+
+def test_spread_backups_avoid_repeating_pairs():
+    # Soft anti-affinity: spread never stacks more than 2 of the 8
+    # members on one (primary, backup) host pair, while packed (which
+    # ignores pairs entirely) piles most of the fleet onto one link.
+    world = World(seed=5)
+    spread_max = _max_pair_usage(
+        place(fresh_pool(world), list(MEMBERS), "spread", seed=0)
+    )
+    world = World(seed=5)
+    packed_max = _max_pair_usage(
+        place(fresh_pool(world), list(MEMBERS), "packed", seed=0)
+    )
+    assert spread_max <= 2
+    assert spread_max < packed_max
+
+
+def test_place_raises_when_pool_cannot_fit(world):
+    pool = HostPool(world, 2, slots_per_host=1)
+    with pytest.raises(PoolExhausted):
+        # Two members need 4 slots; the pool has 2.
+        place(pool, ["svc0", "svc1"], "spread", seed=0)
+    # The failed member's half-allocation was rolled back.
+    assert pool.allocation("svc1", "primary") is None
+
+
+def test_pick_host_excludes_and_rejects_unknown_strategy(world):
+    pool = fresh_pool(world, n_hosts=2, slots=1)
+    host = pick_host(pool, "spread", 0, "svc0", "primary", exclude=("node0",))
+    assert host.name == "node1"
+    with pytest.raises(ValueError):
+        pick_host(pool, "bogus", 0, "svc0", "primary")
+
+
+def test_replacement_backup_selects_without_allocating(world):
+    pool = fresh_pool(world, n_hosts=3, slots=2)
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    choice = replacement_backup(pool, "svc0", pool.host("node0"))
+    assert choice is not None and choice.name != "node0"
+    # Selection only: nothing was booked.
+    assert pool.allocation("svc0", "backup") is None
+
+
+def test_replacement_backup_returns_none_on_exhaustion(world):
+    pool = HostPool(world, 2, slots_per_host=1)
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc1", "primary", pool.host("node1"))
+    assert replacement_backup(pool, "svc0", pool.host("node0")) is None

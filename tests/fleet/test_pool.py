@@ -1,0 +1,93 @@
+"""HostPool slot bookkeeping, pair-link pooling and growth."""
+
+import pytest
+
+from repro.fleet import HostPool, PoolExhausted
+from repro.net import World
+
+
+@pytest.fixture
+def pool(world):
+    return HostPool(world, 3, slots_per_host=2)
+
+
+def test_pool_builds_named_hosts(pool):
+    assert sorted(pool.hosts) == ["node0", "node1", "node2"]
+    assert all(not h.failed for h in pool.alive_hosts())
+    assert pool.total_free_slots() == 6
+
+
+def test_allocate_and_release_track_load(pool):
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc0", "backup", pool.host("node1"))
+    assert pool.load("node0") == 1
+    assert pool.free_slots("node1") == 1
+    assert pool.allocation("svc0", "primary") == "node0"
+    pool.release("svc0", "primary")
+    assert pool.load("node0") == 0
+    # Releasing an unheld slot is a no-op (idempotent re-drives).
+    pool.release("svc0", "primary")
+
+
+def test_allocate_is_idempotent_for_same_host_only(pool):
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc0", "primary", pool.host("node0"))  # re-drive: fine
+    assert pool.load("node0") == 1
+    with pytest.raises(ValueError):
+        pool.allocate("svc0", "primary", pool.host("node1"))
+
+
+def test_allocate_rejects_full_and_failed_hosts(pool):
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc1", "primary", pool.host("node0"))
+    with pytest.raises(PoolExhausted):
+        pool.allocate("svc2", "primary", pool.host("node0"))
+    pool.host("node1").fail_stop()
+    with pytest.raises(PoolExhausted):
+        pool.allocate("svc2", "primary", pool.host("node1"))
+    assert [h.name for h in pool.alive_hosts()] == ["node0", "node2"]
+
+
+def test_promote_backup_relabels_without_capacity_change(pool):
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc0", "backup", pool.host("node1"))
+    before = pool.load("node1")
+    pool.promote_backup("svc0")
+    assert pool.allocation("svc0", "primary") == "node1"
+    assert pool.allocation("svc0", "backup") is None
+    assert pool.load("node1") == before
+
+
+def test_commit_role_relabels_migration_slot(pool):
+    pool.allocate("svc0", "primary-next", pool.host("node2"))
+    pool.commit_role("svc0", "primary-next", "primary")
+    assert pool.allocation("svc0", "primary") == "node2"
+    assert pool.allocation("svc0", "primary-next") is None
+
+
+def test_pair_count_counts_directional_pairs(pool):
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    pool.allocate("svc0", "backup", pool.host("node1"))
+    pool.allocate("svc1", "primary", pool.host("node0"))
+    pool.allocate("svc1", "backup", pool.host("node1"))
+    assert pool.pair_count("node0", "node1") == 2
+    assert pool.pair_count("node1", "node0") == 0
+
+
+def test_channel_between_is_cached_and_symmetric(pool):
+    a, b = pool.host("node0"), pool.host("node1")
+    channel = pool.channel_between(a, b)
+    assert pool.channel_between(b, a) is channel
+    assert pool.channel_between(a, pool.host("node2")) is not channel
+
+
+def test_add_host_grows_pool_and_rejects_duplicates(pool):
+    host = pool.add_host()
+    assert host.name == "node3"
+    assert pool.total_free_slots() == 8
+    with pytest.raises(ValueError):
+        pool.add_host("node0")
+
+
+def test_pool_never_checkpointed():
+    assert HostPool.__ckpt_ignore__ is True

@@ -1,0 +1,39 @@
+"""The fleet fault-scenario catalog: every scenario passes its oracles,
+and together they cover every declared fleet fault point."""
+
+import pytest
+
+from repro.faultinject.points import FAULT_POINTS
+from repro.fleet import FLEET_SCENARIOS, run_fleet_scenario
+
+
+@pytest.mark.parametrize("name", sorted(FLEET_SCENARIOS))
+def test_scenario_passes_all_oracles(name):
+    result = run_fleet_scenario(name, seed=7)
+    assert result.ok, result.violations
+    assert result.completed > 0
+
+
+def test_catalog_covers_every_fleet_fault_point():
+    fleet_points = {p for p in FAULT_POINTS if p.startswith("fleet.")}
+    exercised = {
+        point
+        for scenario in FLEET_SCENARIOS.values()
+        for point in scenario.points
+    }
+    assert exercised == fleet_points
+
+
+def test_scenario_points_are_declared():
+    for scenario in FLEET_SCENARIOS.values():
+        for point in scenario.points:
+            assert point in FAULT_POINTS, (scenario.name, point)
+
+
+def test_double_failure_resolves_shared_backup_contention():
+    """Regression pin for the one scenario with no injection point: two
+    simultaneous primary fail-stops whose detectors both live on one
+    shared backup host."""
+    result = run_fleet_scenario("fleet.double_failure_shared_backup", seed=7)
+    assert result.ok, result.violations
+    assert result.states == {"svc0": "protected", "svc1": "protected"}
