@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -49,6 +49,27 @@ ckptcov-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro ckptcov --check-inventory > /dev/null
 	PYTHONPATH=src $(PYTHON) -m repro ckptcov --baseline ckptcov-baseline.json \
 	  --diff --workload ssdb --workload net-echo
+
+# Hot-path performance analyzer: annotation/root self-check, PERF lint
+# against the checked-in known-debt baseline, a deterministic profiled run
+# cross-referencing every finding, and the full wall-clock bench gated
+# against the checked-in BENCH_engine.json.
+perf:
+	PYTHONPATH=src $(PYTHON) -m repro perf selfcheck
+	PYTHONPATH=src $(PYTHON) -m repro perf lint --baseline perf-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro perf profile
+	PYTHONPATH=src $(PYTHON) -m repro perf bench --check BENCH_engine.json
+
+# CI subset: baselined lint (selfcheck is implicit) + one bounded profiled
+# workload with the 20% events/sec regression gate.
+perf-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro perf lint --baseline perf-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro perf profile --smoke
+	PYTHONPATH=src $(PYTHON) -m repro perf bench --smoke --check BENCH_engine.json
+
+# Regenerate the checked-in BENCH_engine.json (review the diff!).
+perf-bench:
+	PYTHONPATH=src $(PYTHON) -m repro perf bench --out BENCH_engine.json
 
 # Re-pin the golden per-seed trace/metrics digests after an intentional
 # behavior change (review the diff!).

@@ -28,13 +28,20 @@ This package provides the enforcement layers:
   field inventory of the simulated kernel, the CKPT100..CKPT104
   dump/restore cross-reference, and a checkpoint->restore->deep-compare
   differential oracle over live catalog workloads.
-* :mod:`repro.analysis.baseline` — finding baselines shared by ``lint``
-  and ``ckptcov``: known findings are frozen in a checked-in file, new
-  ones gate CI.
+* :mod:`repro.analysis.perf` / :mod:`repro.analysis.perfbench` — the
+  hot-path performance analyzer (``python -m repro perf``): a call-graph
+  pass classifying functions per-event/per-page/per-epoch, the
+  PERF001..PERF006 rules linting only that hot surface, a deterministic
+  profiler (:mod:`repro.sim.profiler`) cross-referencing every finding,
+  and the wall-clock benchmark gate behind ``BENCH_engine.json``.
+* :mod:`repro.analysis.baseline` — finding baselines shared by ``lint``,
+  ``ckptcov`` and ``perf``: known findings are frozen in a checked-in
+  file, new ones gate CI.
 
 See ``docs/determinism.md`` for the rule catalogue and invariant list,
-``docs/races.md`` for the race-detection machinery, and
-``docs/checkpoint-coverage.md`` for the coverage analyzer.
+``docs/races.md`` for the race-detection machinery,
+``docs/checkpoint-coverage.md`` for the coverage analyzer, and
+``docs/perf.md`` for the performance analyzer.
 """
 
 from repro.analysis.auditor import InvariantViolation, StateAuditor, Violation
@@ -60,6 +67,21 @@ from repro.analysis.coverage import (
     inventory_selfcheck,
 )
 from repro.analysis.linter import Finding, LintContext, Rule, all_rules, lint_paths, lint_source
+from repro.analysis.perf import (
+    PERF_RULE_IDS,
+    HotFunction,
+    PerfReport,
+    analyze_perf,
+    build_hot_map,
+    perf_selfcheck,
+)
+from repro.analysis.perfbench import (
+    ProfiledRun,
+    check_bench,
+    crossref,
+    run_perf_bench,
+    run_profiled_deployment,
+)
 from repro.analysis.races import (
     RaceDetector,
     RaceFinding,
@@ -74,10 +96,14 @@ __all__ = [
     "COVERAGE_RULE_IDS",
     "CoverageReport",
     "Finding",
+    "HotFunction",
     "InvariantViolation",
     "Inventory",
     "LintContext",
     "OracleResult",
+    "PERF_RULE_IDS",
+    "PerfReport",
+    "ProfiledRun",
     "RaceDetector",
     "RaceFinding",
     "Rule",
@@ -86,15 +112,22 @@ __all__ = [
     "Violation",
     "all_rules",
     "analyze_coverage",
+    "analyze_perf",
     "apply_baseline",
+    "build_hot_map",
     "build_inventory",
+    "check_bench",
     "compare_containers",
+    "crossref",
     "fingerprint",
     "install_detector",
     "inventory_selfcheck",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "perf_selfcheck",
+    "run_perf_bench",
+    "run_profiled_deployment",
     "render_json",
     "render_text",
     "run_oracle",

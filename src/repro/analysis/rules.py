@@ -820,3 +820,9 @@ class LiveWaiterIteration(Rule):
                     "swap the list out before iterating",
                 )
                 return
+
+
+# The PERF rules live with the hot-path analyzer; importing the module
+# registers them so --select/--ignore and --list-rules see the full catalog
+# (same pattern as the CKPT coverage rules).
+from repro.analysis import perf as _perf  # noqa: E402,F401  (registration import)

@@ -386,6 +386,152 @@ def _plain_ckptcov(report, render) -> int:
     return 1 if any(f.severity == "error" for f in report.findings) else 0
 
 
+def _cmd_perf(args) -> int:
+    """Hot-path performance analyzer: PERF lint / profile / bench."""
+    import json
+
+    from repro.analysis.perf import analyze_perf, perf_selfcheck
+    from repro.analysis.report import render_json, render_text
+
+    render = render_json if args.json else render_text
+
+    if args.action == "selfcheck":
+        problems, dispositions = perf_selfcheck()
+        width = max(len(name) for name in dispositions)
+        for name in sorted(dispositions):
+            print(f"  {name:<{width}}  {dispositions[name]}")
+        if problems:
+            print("perf self-check FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"perf self-check: {len(dispositions)} hot/exempt "
+              f"function(s) accounted for.")
+        return 0
+
+    if args.action == "bench":
+        from repro.analysis.perfbench import (
+            check_bench,
+            run_perf_bench,
+            write_bench_json,
+        )
+
+        report = run_perf_bench(smoke=args.smoke, seed=args.seed)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for name, entry in sorted(report["workloads"].items()):
+                print(f"{name}: {entry['events_per_sec']} events/sec, "
+                      f"{entry['pages_digested_per_sec']} pages-digested/sec "
+                      f"(counter digest {entry['counter_digest']})")
+            fleet = report["fleet_campaign"]
+            print(f"fleet campaign: {fleet['trace_events']} trace events in "
+                  f"{fleet['wall_s']}s, deterministic={fleet['deterministic']}")
+            for opt, entry in sorted(report["optimizations"].items()):
+                print(f"optimization {opt}: {json.dumps(entry, sort_keys=True)}")
+        if args.out:
+            write_bench_json(report, args.out)
+            print(f"repro perf: wrote {args.out}")
+        if args.check:
+            try:
+                baseline = json.loads(open(args.check).read())
+            except (OSError, ValueError) as exc:
+                print(f"repro perf: cannot read {args.check}: {exc}",
+                      file=sys.stderr)
+                return 2
+            problems = check_bench(report, baseline)
+            for problem in problems:
+                print(f"repro perf: REGRESSION {problem}")
+            if problems:
+                return 1
+            print(f"repro perf: throughput within 20% of {args.check}")
+        return 0
+
+    # lint and profile both need the static pass; the selfcheck gates both
+    # (an unreachable root would silently shrink the linted surface).
+    problems, _ = perf_selfcheck()
+    if problems:
+        print("perf self-check FAILED (run `repro perf selfcheck`):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    try:
+        report = analyze_perf(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        print(f"repro perf: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.action == "profile":
+        from repro.analysis.perfbench import (
+            check_bench,
+            crossref,
+            run_profiled_deployment,
+        )
+
+        run_ms = 400 if args.smoke else args.run_ms
+        run = run_profiled_deployment(
+            args.workload, run_ms=run_ms, seed=args.seed
+        )
+        entries = crossref(report.findings, run.counters)
+        if args.json:
+            print(json.dumps(
+                {
+                    "workload": run.workload,
+                    "seed": run.seed,
+                    "run_ms": run.run_ms,
+                    "events": run.events,
+                    "counter_digest": run.digest,
+                    "counters": run.counters,
+                    "findings": entries,
+                },
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(f"{run.workload}: {run.events} events dispatched in "
+                  f"{run.sim_us} simulated us; counter digest {run.digest}")
+            for site in sorted(run.counters):
+                if "." in site and site.count(".") == 1:
+                    print(f"  {site:<28} {run.counters[site]}")
+            for entry in entries:
+                print(f"  {entry['status']:<13} {entry['rule']} "
+                      f"{entry['path']}:{entry['line']} ({entry['evidence']})")
+        if args.check:
+            try:
+                baseline = json.loads(open(args.check).read())
+            except (OSError, ValueError) as exc:
+                print(f"repro perf: cannot read {args.check}: {exc}",
+                      file=sys.stderr)
+                return 2
+            current = {
+                "workloads": {
+                    run.workload: {
+                        "events_per_sec": int(run.events / run.wall_s)
+                        if run.wall_s > 0 else 0,
+                    }
+                }
+            }
+            problems = check_bench(current, baseline)
+            for problem in problems:
+                print(f"repro perf: REGRESSION {problem}")
+            if problems:
+                return 1
+            print(f"repro perf: throughput within 20% of {args.check}")
+        return 0
+
+    # action == "lint"
+    if args.hot:
+        for fn in report.hot_functions:
+            mark = " (annotated)" if fn.declared else ""
+            print(f"  {fn.hotness:<9} {fn.path}:{fn.line} {fn.qualname}{mark}")
+    if args.baseline is None:
+        print(render(report.findings))
+        return 1 if any(f.severity == "error" for f in report.findings) else 0
+    return _baseline_gate(
+        report.findings, args.baseline, args.update_baseline, render,
+        "repro perf",
+    )
+
+
 def _cmd_races(args) -> int:
     """Happens-before race detection / tie-break schedule fuzzing."""
     import json
@@ -671,6 +817,39 @@ def build_parser() -> argparse.ArgumentParser:
                          help="verify every kernel/net class is accounted "
                               "for by the inventory and exit")
 
+    perf = sub.add_parser(
+        "perf",
+        help="hot-path performance analyzer: PERF lint rules, deterministic "
+             "DES profiler, engine benchmark gate",
+    )
+    perf.add_argument("action", nargs="?", default="lint",
+                      choices=("lint", "profile", "bench", "selfcheck"))
+    perf.add_argument("--select", action="append", default=None, metavar="RULE",
+                      help="emit only these PERF rule IDs (repeatable)")
+    perf.add_argument("--ignore", action="append", default=None, metavar="RULE",
+                      help="skip these PERF rule IDs (repeatable)")
+    perf.add_argument("--baseline", metavar="FILE", default=None,
+                      help="known-debt baseline (see perf-baseline.json)")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help="rewrite --baseline FILE from current warnings")
+    perf.add_argument("--hot", action="store_true",
+                      help="lint: also print the hot-function classification")
+    perf.add_argument("--workload", default="net",
+                      help="profile: catalog workload to run (default: net)")
+    perf.add_argument("--run-ms", type=int, default=800,
+                      help="profile: simulated run length")
+    perf.add_argument("--smoke", action="store_true",
+                      help="reduced CI variant of profile/bench")
+    perf.add_argument("--out", default=None, metavar="FILE",
+                      help="bench: also write the JSON report here "
+                           "(e.g. BENCH_engine.json)")
+    perf.add_argument("--check", default=None, metavar="FILE",
+                      help="gate events/sec against a checked-in "
+                           "BENCH_engine.json (fail on >20%% drop)")
+    perf.add_argument("--seed", type=int, default=1)
+    perf.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON")
+
     races = sub.add_parser(
         "races",
         help="happens-before race detection and tie-break schedule fuzzing",
@@ -753,6 +932,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "lint": _cmd_lint,
     "ckptcov": _cmd_ckptcov,
+    "perf": _cmd_perf,
     "races": _cmd_races,
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,

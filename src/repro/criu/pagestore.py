@@ -37,6 +37,9 @@ class PageStore(Protocol):
     interrupts an in-flight commit.
     """
 
+    #: Lifetime pages stored (perf-profiler harvest).
+    pages_stored: int
+
     @property
     def checkpoint_open(self) -> bool: ...
 
@@ -60,6 +63,8 @@ class RadixTreePageStore:
         self.costs = costs
         self._roots: dict[int, list] = {}
         self.checkpoints_taken = 0
+        #: Lifetime pages stored (perf-profiler harvest; always on).
+        self.pages_stored = 0
         #: Allocated interior nodes (diagnostics; shows the tree is real).
         self.nodes_allocated = 0
         #: Undo log of the open checkpoint: (pid, page_idx, prior content or
@@ -107,8 +112,9 @@ class RadixTreePageStore:
             page_idx & (RADIX_FANOUT - 1),
         )
 
-    def store_page(self, pid: int, page_idx: int, content: bytes) -> int:
+    def store_page(self, pid: int, page_idx: int, content: bytes) -> int:  # hot: per-page -- every committed page funnels through here
         """Store one page; returns the processing cost in microseconds."""
+        self.pages_stored += 1
         root = self._roots.get(pid)
         if root is None:
             root = self._roots[pid] = self._new_node()
@@ -165,6 +171,8 @@ class LinkedListPageStore:
         #: Oldest-first list of {(pid, page_idx): content} directories.
         self._dirs: list[dict[tuple[int, int], bytes]] = []
         self.checkpoints_taken = 0
+        #: Lifetime pages stored (perf-profiler harvest; always on).
+        self.pages_stored = 0
         #: Undo log of the open checkpoint: stale copies popped from earlier
         #: directories, as (directory index, key, content).
         self._undo: list[tuple[int, tuple[int, int], bytes]] = []
@@ -195,7 +203,8 @@ class LinkedListPageStore:
         self._open = False
         self.checkpoints_taken -= 1
 
-    def store_page(self, pid: int, page_idx: int, content: bytes) -> int:
+    def store_page(self, pid: int, page_idx: int, content: bytes) -> int:  # hot: per-page -- stock-CRIU path; cost grows with checkpoint count
+        self.pages_stored += 1
         if not self._dirs:
             self.begin_checkpoint()
         key = (pid, page_idx)

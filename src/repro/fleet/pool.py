@@ -48,8 +48,17 @@ class HostPool:
         self.hosts: dict[str, Host] = {}
         #: ``(member_name, role)`` -> host name, role in {"primary", "backup"}.
         self.allocations: dict[tuple[str, str], str] = {}
+        #: Maintained per-host occupancy index: host name -> occupied slots.
+        #: Kept in lockstep with ``allocations`` at every mutation site so
+        #: :meth:`load` is O(1) instead of a scan over every allocation
+        #: (the rebalancer queries it per host per tick — the PERF006
+        #: finding this index retired; ``_load_scan`` is the reference).
+        self._load: dict[str, int] = {}
         #: One shared channel per unordered host pair.
         self._channels: dict[frozenset[str], Channel] = {}
+        #: Perf-profiler harvest counters (always on).
+        self.slot_ops = 0
+        self.load_queries = 0
         for _ in range(n_hosts):
             self.add_host()
 
@@ -62,6 +71,7 @@ class HostPool:
             raise ValueError(f"host {name!r} already pooled")
         host = self.world.add_host(name)
         self.hosts[name] = host
+        self._load[name] = 0
         record_access(self.engine, self, "pool_slots", "w", key=name,
                       site="pool.add_host")
         trace(self.engine, "fleet", "host_added", host=name)
@@ -73,10 +83,17 @@ class HostPool:
     def alive_hosts(self) -> list[Host]:
         return [h for h in self.hosts.values() if not h.failed]
 
-    def load(self, name: str) -> int:
-        """Slots occupied on host *name*."""
+    def load(self, name: str) -> int:  # hot: per-event -- rebalancer + placement query every host per decision
+        """Slots occupied on host *name* (O(1) via the maintained index)."""
+        self.load_queries += 1
         record_access(self.engine, self, "pool_slots", "r", key=name,
                       site="pool.load")
+        return self._load.get(name, 0)
+
+    def _load_scan(self, name: str) -> int:  # hot: exempt -- bench/test reference implementation, never on the hot path
+        """Reference implementation of :meth:`load`: the O(allocations)
+        scan the index replaced.  Kept for the equivalence test and the
+        perf bench's before/after measurement; never on the hot path."""
         return sum(1 for host in self.allocations.values() if host == name)
 
     def free_slots(self, name: str) -> int:
@@ -111,6 +128,8 @@ class HostPool:
         record_access(self.engine, self, "pool_slots", "w", key=host.name,
                       site="pool.allocate")
         self.allocations[key] = host.name
+        self._load[host.name] = self._load.get(host.name, 0) + 1
+        self.slot_ops += 1
         trace(self.engine, "fleet", "slot_allocated", member=member, role=role,
               host=host.name)
 
@@ -119,6 +138,8 @@ class HostPool:
         if host is not None:
             record_access(self.engine, self, "pool_slots", "w", key=host,
                           site="pool.release")
+            self._load[host] -= 1
+            self.slot_ops += 1
             trace(self.engine, "fleet", "slot_released", member=member,
                   role=role, host=host)
 
@@ -130,6 +151,7 @@ class HostPool:
         record_access(self.engine, self, "pool_slots", "w", key=host,
                       site="pool.promote_backup")
         self.allocations[(member, "primary")] = host
+        self.slot_ops += 1  # same host keeps the slot: _load is unchanged
         trace(self.engine, "fleet", "slot_promoted", member=member, host=host)
 
     def commit_role(self, member: str, from_role: str, to_role: str) -> None:
@@ -140,6 +162,7 @@ class HostPool:
         record_access(self.engine, self, "pool_slots", "w", key=host,
                       site="pool.commit_role")
         self.allocations[(member, to_role)] = host
+        self.slot_ops += 1  # same host keeps the slot: _load is unchanged
         trace(self.engine, "fleet", "slot_committed", member=member,
               role=to_role, host=host)
 

@@ -116,6 +116,10 @@ class AddressSpace:
         self.pending_fault_ns: int = 0
         #: Lifetime fault counter (metrics).
         self.total_faults: int = 0  # ckpt: ephemeral -- host-local metric
+        #: Lifetime page-write / snapshot counters, harvested by the perf
+        #: profiler (repro.sim.profiler); plain int adds, always on.
+        self.pages_written: int = 0  # ckpt: ephemeral -- host-local metric
+        self.pages_snapshotted: int = 0  # ckpt: ephemeral -- host-local metric
 
     # -- mapping ----------------------------------------------------------
     def mmap(self, vma: Vma) -> Vma:
@@ -158,7 +162,7 @@ class AddressSpace:
         return list(seen)
 
     # -- access -----------------------------------------------------------
-    def write(self, page_idx: int, token: bytes) -> None:
+    def write(self, page_idx: int, token: bytes) -> None:  # hot: per-page -- every workload memory write lands here
         """Write *token* into a page, faulting for dirty tracking."""
         self.find_vma(page_idx)  # validates the mapping
         tracking = self._tracking
@@ -172,6 +176,7 @@ class AddressSpace:
                 self.pending_fault_ns += self.costs.vm_exit_fault_ns
         if self.audit_hook is not None:
             self.audit_hook.page_written(page_idx)
+        self.pages_written += 1
         self.pages[page_idx] = token
 
     def write_range(self, start: int, tokens: Iterable[bytes]) -> int:
@@ -230,7 +235,7 @@ class AddressSpace:
         """
         if not self._tracking.enabled:
             raise AddressError(f"{self.name}: pagemap read before start_tracking")
-        return tuple(sorted(self._tracking.dirty))
+        return tuple(sorted(self._tracking.dirty))  # nlint: disable=PERF003 -- pagemap is read in address order by contract; the sort IS the semantics
 
     @property
     def resident_count(self) -> int:
@@ -241,9 +246,11 @@ class AddressSpace:
         return len(self.pages) * PAGE_SIZE
 
     # -- checkpoint support --------------------------------------------------
-    def snapshot_pages(self, indices: Iterable[int]) -> dict[int, bytes]:
+    def snapshot_pages(self, indices: Iterable[int]) -> dict[int, bytes]:  # hot: per-page -- parasite copies every dirty page through here
         """Copy the content tokens of *indices* (missing pages read as b'')."""
-        return {idx: self.pages.get(idx, b"") for idx in indices}
+        snapshot = {idx: self.pages.get(idx, b"") for idx in indices}
+        self.pages_snapshotted += len(snapshot)
+        return snapshot
 
     def full_snapshot(self) -> dict[int, bytes]:
         """All resident page contents (used for full checkpoints/oracles)."""

@@ -37,6 +37,7 @@ from repro.net.link import Endpoint
 from repro.replication.config import NiliconConfig
 from repro.replication.drbd import BackupDrbd
 from repro.replication.heartbeat import FailureDetector
+from repro.replication.statecache import verify_page_digests
 from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
 from repro.sim.faults import fault_point
@@ -120,6 +121,10 @@ class BackupAgent:
         #: Epochs that arrived ahead of order (delayed/duplicated state
         #: under link faults), parked until their predecessors commit.
         self._out_of_order: dict[int, tuple[CheckpointImage, Any]] = {}
+        #: Page-digest verification outcomes (host-side integrity check of
+        #: each received transfer against the primary's per-page CRCs).
+        self.digests_verified = 0
+        self.digest_mismatches = 0
 
         self._state_queue = Queue(engine, name="backup-state")
         self._stopped = False
@@ -246,6 +251,13 @@ class BackupAgent:
         stall = fault_point(self.engine, "backup.post_ack_pre_commit", epoch=epoch)
         if stall:
             yield self.engine.timeout(stall)
+        # Verify the transfer against the primary's per-page CRCs before
+        # committing.  Host CPU only — zero simulated time, no trace events
+        # — matching the digesting contract on the primary side.
+        digests = delivery.message.get("page_digests")
+        if digests is not None:
+            self.digests_verified += 1
+            self.digest_mismatches += verify_page_digests(image, digests)
         yield from self._commit_state(epoch, image)
         trace(self.engine, "backup", "committed", epoch=epoch)
         if not self.config.unsafe_ack_before_commit:

@@ -77,6 +77,15 @@ class NiliconConfig:
     #: output has already escaped.  Exists only so the fault campaign can
     #: demonstrate the race; never enable outside tests.
     unsafe_ack_before_commit: bool = False
+    #: REGRESSION KNOB — disable the page-digest generation cache
+    #: (:class:`~repro.replication.statecache.PageDigestCache`): the
+    #: primary re-hashes the container's entire resident set every epoch
+    #: instead of hashing only the dirty pages and reusing clean pages'
+    #: cached CRCs.  Exists so ``repro perf`` can prove the analyzer flags
+    #: the re-hash-everything loop (PERF002) and the profiler confirms it
+    #: hot, and so BENCH_engine.json can record the cache's before/after;
+    #: never enable outside tests and benches.
+    perf_unoptimized_digest: bool = False
     #: REGRESSION KNOB — revert the barrier-release fix: an ack pops the
     #: *oldest* egress barrier regardless of which epoch was acknowledged,
     #: so a duplicated or reordered ack releases a later epoch's output

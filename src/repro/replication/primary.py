@@ -32,7 +32,7 @@ from repro.net.link import Endpoint
 from repro.replication.config import NiliconConfig
 from repro.replication.drbd import PrimaryDrbd
 from repro.replication.netbuffer import NetworkBuffer
-from repro.replication.statecache import InfrequentStateCache
+from repro.replication.statecache import InfrequentStateCache, PageDigestCache
 from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
 from repro.sim.faults import fault_point
@@ -74,6 +74,11 @@ class PrimaryAgent:
         if config.criu.cache_infrequent_state:
             collector = StateCollector(self.kernel, config.criu)
             self.state_cache = InfrequentStateCache(self.kernel, collector, container)
+        #: Per-page transfer-integrity CRCs, cached across epochs (host-side
+        #: only; see docs/perf.md for the unoptimized regression mode).
+        self.digest_cache = PageDigestCache(
+            unoptimized=config.perf_unoptimized_digest
+        )
 
         #: Continues an adopted container's numbering (0 for a fresh pair).
         self.epoch = initial_epoch
@@ -207,6 +212,12 @@ class PrimaryAgent:
         collect_us = self.engine.now - collect_start
         trace(self.engine, "epoch", "collected", epoch=epoch,
               dirty=image.dirty_page_count)
+        # Digest the shipped pages so the backup can verify the transfer.
+        # Host CPU only — zero simulated time, no trace events — so golden
+        # digests are unaffected (same contract as the auditor above).
+        page_digests = self.digest_cache.digest_image(
+            image, processes=self.container.processes
+        )
 
         # Epoch barrier: output buffered so far belongs to this epoch.
         self.netbuffer.insert_epoch_barrier(epoch)
@@ -238,7 +249,7 @@ class PrimaryAgent:
             stall = fault_point(self.engine, "primary.pre_send", epoch=epoch)
             if stall:
                 yield self.engine.timeout(stall)
-            self._send_state(epoch, image)
+            self._send_state(epoch, image, page_digests)
             stall = fault_point(
                 self.engine, "primary.between_send_and_receipt", epoch=epoch
             )
@@ -261,7 +272,7 @@ class PrimaryAgent:
             stall = fault_point(self.engine, "primary.pre_send", epoch=epoch)
             if stall:
                 yield self.engine.timeout(stall)
-            self._send_state(epoch, image)
+            self._send_state(epoch, image, page_digests)
             stall = fault_point(
                 self.engine, "primary.between_send_and_receipt", epoch=epoch
             )
@@ -284,13 +295,23 @@ class PrimaryAgent:
         self.metrics.charge_primary_cpu(stop_us)
         self.epoch += 1
 
-    def _send_state(self, epoch: int, image) -> None:
+    def _send_state(
+        self, epoch: int, image, page_digests: dict[str, int] | None = None
+    ) -> None:
         size = image.size_bytes()
         compressed = self.config.compress_transfer
         if compressed:
             size = max(1024, int(size * self.config.compression_ratio))
         self.endpoint.send(
-            {"kind": "state", "epoch": epoch, "image": image, "compressed": compressed},
+            {
+                "kind": "state",
+                "epoch": epoch,
+                "image": image,
+                "compressed": compressed,
+                # Per-page CRCs for backup-side verification; metadata only
+                # (a few bytes per page on the real wire), not charged.
+                "page_digests": page_digests,
+            },
             size_bytes=size,
             chunks=image.chunk_count(),
         )
@@ -344,7 +365,7 @@ class PrimaryAgent:
             # barrier — a skipped ack is healed by the next one.
             released = self.netbuffer.release_epoch(self.netbuffer.acked_epoch)
             self.metrics.packets_released += released
-            for pending in sorted(self._receipt_events):
+            for pending in sorted(self._receipt_events):  # nlint: disable=PERF003 -- receipts must wake in epoch order; the pending set is tiny
                 if pending > self.netbuffer.acked_epoch:
                     break
                 record_access(self.engine, self, "receipt_events", "w", key=pending,

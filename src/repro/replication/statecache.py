@@ -12,19 +12,36 @@ call, checks whether the mutating thread belongs to the protected container
 signals the agent by invalidating.  As in the paper's prototype, only the
 common mutation paths are hooked — which is "sufficient for all of our
 benchmarks".
+
+The same never-recompute-what-didn't-change principle drives
+:class:`PageDigestCache`: the primary ships a CRC per page with every
+state transfer so the backup can verify transfer integrity, and — like the
+infrequent-state cache — only re-derives what the epoch actually touched.
+Soft-dirty tracking already tells us which pages changed; a clean page's
+digest from the generation that last shipped it is still valid.  Digesting
+is *host-side analysis work* (like the auditor): it charges zero simulated
+time and emits no trace events, so golden trace digests are unaffected.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+import zlib
+from typing import TYPE_CHECKING, Any, Generator, Iterable
 
 from repro.criu.collect import StateCollector
+from repro.kernel.costmodel import PAGE_SIZE
 from repro.kernel.kernel import Kernel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.container.runtime import Container
+    from repro.criu.images import CheckpointImage
 
-__all__ = ["InfrequentStateCache", "HOOKED_FUNCTIONS"]
+__all__ = [
+    "InfrequentStateCache",
+    "HOOKED_FUNCTIONS",
+    "PageDigestCache",
+    "verify_page_digests",
+]
 
 #: Kernel functions whose calls may change infrequently-modified state.
 HOOKED_FUNCTIONS = (
@@ -87,3 +104,93 @@ class InfrequentStateCache:
         for fn in HOOKED_FUNCTIONS:
             self.kernel.ftrace.unregister(fn, self._hook)
         self._detached = True
+
+
+class PageDigestCache:
+    """Per-page content CRCs, cached across epochs by soft-dirty generation.
+
+    Every checkpoint transfer carries a ``page_digests`` map so the backup
+    can verify each received page (:func:`verify_page_digests`).  The
+    checkpoint image already contains exactly the dirty set, so only those
+    pages are hashed; a clean page was byte-identical to the generation
+    that last shipped it, and its cached CRC is still the truth.
+
+    ``unoptimized=True`` (the ``perf_unoptimized_digest`` regression knob)
+    disables the cache and re-hashes the container's entire resident set
+    every epoch — the re-hash-everything hot loop that ``repro perf``
+    must flag (PERF002) and the profiler must confirm hot.
+
+    Host-side only: no simulated time is charged and no trace events are
+    emitted, so installing the digest path changes no golden digest.
+    """
+
+    def __init__(self, unoptimized: bool = False) -> None:
+        self.unoptimized = unoptimized
+        #: (pid, page index) -> CRC32 of the page token.
+        self._crc: dict[tuple[int, int], int] = {}
+        #: Checkpoint generations digested so far.
+        self.generation = 0
+        #: Perf-profiler harvest counters (always on).
+        self.pages_digested = 0
+        self.bytes_hashed = 0
+        self.cache_hits = 0
+
+    def digest_image(
+        self, image: "CheckpointImage", processes: Iterable[Any] = ()
+    ) -> dict[str, int]:  # hot: per-page -- runs over the dirty set every epoch
+        """Digest one epoch's checkpoint; returns ``"pid:idx" -> crc``.
+
+        *processes* is the container's live process list; the optimized
+        path only uses it to count the clean pages it did NOT re-hash,
+        the unoptimized path walks it to re-hash everything resident.
+        """
+        self.generation += 1
+        crc_cache = self._crc
+        resident = 0
+        if self.unoptimized:
+            # Re-hash-everything mode: every resident page of every
+            # process, clean or not, every epoch.
+            for process in processes:
+                pid = process.pid
+                pages = process.mm.pages
+                resident += len(pages)
+                for idx in sorted(pages):  # nlint: disable=PERF003 -- digests walk pages in address order by contract
+                    crc_cache[(pid, idx)] = zlib.crc32(pages[idx])
+                    self.pages_digested += 1
+                    self.bytes_hashed += PAGE_SIZE
+        else:
+            for process in processes:
+                resident += len(process.mm.pages)
+        digests: dict[str, int] = {}
+        in_image = 0
+        for pimage in image.processes:
+            pid = pimage.pid
+            pages = pimage.pages
+            in_image += len(pages)
+            for idx in sorted(pages):  # nlint: disable=PERF003 -- digests walk pages in address order by contract
+                key = (pid, idx)
+                if not self.unoptimized:
+                    crc_cache[key] = zlib.crc32(pages[idx])  # nlint: disable=PERF002 -- dirty pages only; clean pages reuse the cached generation
+                    self.pages_digested += 1
+                    self.bytes_hashed += PAGE_SIZE
+                digests[f"{pid}:{idx}"] = crc_cache[key]
+        if not self.unoptimized:
+            # Clean resident pages whose cached digest was reused unhashed.
+            self.cache_hits += max(0, resident - in_image)
+        return digests
+
+
+def verify_page_digests(image: "CheckpointImage", digests: dict[str, int]) -> int:
+    """Backup-side check: re-hash received pages against the primary's CRCs.
+
+    Returns the number of mismatched pages (0 on an intact transfer).
+    Host-side only, like the digesting itself.
+    """
+    mismatches = 0
+    for pimage in image.processes:
+        pid = pimage.pid
+        for idx, content in pimage.pages.items():
+            expected = digests.get(f"{pid}:{idx}")
+            if expected is not None and zlib.crc32(content) != expected:  # nlint: disable=PERF002 -- integrity check must hash exactly the received bytes
+                mismatches += 1
+    return mismatches

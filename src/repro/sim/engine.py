@@ -282,6 +282,10 @@ class Process(Event):
         detector = self.engine._race_detector
         if detector is not None:
             detector.on_resume(self, event)
+        profiler = self.engine._profiler
+        if profiler is not None:
+            profiler.on_resume(self)
+        schedule = self.engine._schedule
         while True:
             try:
                 if event._ok:
@@ -293,12 +297,12 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                self.engine._schedule(self, NORMAL, 0)
+                schedule(self, NORMAL, 0)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                self.engine._schedule(self, NORMAL, 0)
+                schedule(self, NORMAL, 0)
                 break
 
             if not isinstance(next_target, Event):
@@ -314,7 +318,7 @@ class Process(Event):
                 except BaseException as exc2:
                     self._ok = False
                     self._value = exc2
-                self.engine._schedule(self, NORMAL, 0)
+                schedule(self, NORMAL, 0)
                 break
 
             if next_target.callbacks is None:
@@ -441,6 +445,12 @@ class Engine:
         # Happens-before race detector (repro.analysis.races.RaceDetector)
         # or None.  All hook sites cost one attribute check when None.
         self._race_detector: Any = None
+        # Deterministic work profiler (repro.sim.profiler.SimProfiler) or
+        # None; same one-attribute-check contract as the race detector.
+        self._profiler: Any = None
+        #: Lifetime count of events dispatched (always on: the perf bench
+        #: derives events/sec from it without profiler overhead).
+        self.n_dispatched: int = 0
 
     # -- time --------------------------------------------------------------
     @property
@@ -492,6 +502,9 @@ class Engine:
         detector = self._race_detector
         if detector is not None:
             detector.on_scheduled(event)
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.on_scheduled(event)
 
     def peek(self) -> int | None:
         """Timestamp of the next live event, or None if idle.
@@ -508,10 +521,23 @@ class Engine:
         if self.peek() is None:
             raise SimulationError("step() on an empty event heap")
         when, _prio, _key, _seq, event = heapq.heappop(self._heap)
+        self._dispatch(when, event)
+
+    def _dispatch(self, when: int, event: Event) -> None:
+        """Advance the clock to *when* and run *event*'s callbacks.
+
+        The single dispatch body shared by :meth:`step` and every
+        :meth:`run` loop, so ordering semantics (context serials, detector
+        hooks, failure surfacing) cannot drift between entry points.
+        """
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise SimulationError("event heap went backwards in time")
         self._now = when
+        self.n_dispatched += 1
         detector = self._race_detector
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.on_event(event)
         if detector is not None:
             detector.on_event_begin(event)
         callbacks, event.callbacks = event.callbacks, None
@@ -533,18 +559,31 @@ class Engine:
           value (raising if it failed).
         """
         if until is None:
-            while self.peek() is not None:
-                self.step()
+            # Run-to-drain hot path: exactly one heappop per heap entry.
+            # The step()-based loop cost two head scans per event (peek in
+            # the loop condition, peek again inside step) plus re-resolved
+            # attribute lookups; hoisting the heap and heappop is the
+            # PERF004 fix measured in BENCH_engine.json.
+            heap = self._heap
+            pop = heapq.heappop
+            dispatch = self._dispatch
+            while heap:
+                when, _prio, _key, _seq, event = pop(heap)
+                if event._cancelled:
+                    continue
+                dispatch(when, event)
             return None
 
         if isinstance(until, Event):
             sentinel = until
             while not sentinel.processed:
-                if self.peek() is None:
+                next_at = self.peek()
+                if next_at is None:
                     raise SimulationError(
                         "event heap drained before the awaited event triggered"
                     )
-                self.step()
+                _when, _prio, _key, _seq, event = heapq.heappop(self._heap)
+                self._dispatch(next_at, event)
             if not sentinel._ok:
                 raise sentinel._value
             return sentinel._value
@@ -552,7 +591,11 @@ class Engine:
         deadline = int(until)
         if deadline < self._now:
             raise SimulationError(f"run(until={deadline}) is in the past")
+        # peek() already discarded cancelled head entries, so the pop below
+        # yields exactly the event peek() priced — one head scan per event
+        # where step() would have done a second.
         while (next_at := self.peek()) is not None and next_at <= deadline:
-            self.step()
+            _when, _prio, _key, _seq, event = heapq.heappop(self._heap)
+            self._dispatch(next_at, event)
         self._now = deadline
         return None

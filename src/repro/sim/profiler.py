@@ -1,0 +1,121 @@
+"""Deterministic hot-path profiler (the perf analyzer's Layer 3).
+
+The profiler is a pure *counter* instrument: it counts simulation work —
+events dispatched (by event class), heap pushes, process resumptions (by
+process name), trace emissions (by category), pages written/digested/
+stored, bytes hashed — and never reads the wall clock, so two same-seed
+runs produce byte-identical counter sets.  ``repro perf --profile`` relies
+on that: its output digest is a replay check the same way the fleet
+campaign's trace digest is.
+
+Installation mirrors the race detector (see :mod:`repro.sim.engine`): the
+engine carries a ``_profiler`` attribute that is ``None`` by default, and
+every hook site costs one attribute check when profiling is off.  Hot
+objects without an engine reference (:class:`~repro.kernel.mm.AddressSpace`,
+the page stores, :class:`~repro.fleet.pool.HostPool`) instead keep plain
+always-on integer counters that :func:`harvest` collects at snapshot time —
+an int increment is cheaper than any conditional hook would be.
+
+Counter vocabulary (dotted sites; see ``docs/perf.md``)::
+
+    engine.events                engine.events.<EventClass>
+    engine.heap_push             engine.resume.<process-name>
+    trace.<category>
+    mm.pages_written             mm.pages_snapshotted    mm.faults
+    digest.pages_digested        digest.bytes_hashed     digest.cache_hits
+    pagestore.pages_stored       pool.slot_ops           pool.load_queries
+
+The L2↔L3 cross-reference (:func:`repro.analysis.perfbench.crossref`) maps these
+sites back onto the static call graph: a PERF finding is *confirmed-hot*
+only if a profiled counter proves its enclosing function's root actually
+ran hot.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine, Event, Process
+
+__all__ = [
+    "SimProfiler",
+    "counter_digest",
+    "install_profiler",
+    "uninstall_profiler",
+]
+
+
+class SimProfiler:
+    """Accumulates deterministic work counters for one profiled run."""
+
+    #: The measuring instrument is not itself measured: hot classification
+    #: and PERF linting skip this class (see repro.analysis.perf).
+    __perf_exempt__ = True
+
+    def __init__(self) -> None:
+        #: site -> count.  Plain dict; keys are inserted on first hit, but
+        #: every reader sorts, so insertion order never leaks into output.
+        self.counters: dict[str, int] = {}
+
+    # -- generic ---------------------------------------------------------
+    def hit(self, site: str, n: int = 1) -> None:
+        """Add *n* to the counter for *site*."""
+        counters = self.counters
+        counters[site] = counters.get(site, 0) + n
+
+    # -- engine hooks (called via ``engine._profiler``) ------------------
+    def on_event(self, event: "Event") -> None:
+        """One heap event dispatched; attribute it to the event class."""
+        counters = self.counters
+        counters["engine.events"] = counters.get("engine.events", 0) + 1
+        site = "engine.events." + type(event).__name__
+        counters[site] = counters.get(site, 0) + 1
+
+    def on_scheduled(self, event: "Event") -> None:
+        counters = self.counters
+        counters["engine.heap_push"] = counters.get("engine.heap_push", 0) + 1
+
+    def on_resume(self, process: "Process") -> None:
+        """One coroutine resumption; attribute it to the process name."""
+        counters = self.counters
+        counters["engine.resume"] = counters.get("engine.resume", 0) + 1
+        site = "engine.resume." + process.name
+        counters[site] = counters.get(site, 0) + 1
+
+    # -- harvesting ------------------------------------------------------
+    def harvest(self, sites: Mapping[str, int]) -> None:
+        """Fold a ``site -> count`` mapping of always-on object counters in."""
+        for site, count in sites.items():
+            self.hit(site, count)
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters in sorted-key order (deterministic for JSON/digest)."""
+        return {site: self.counters[site] for site in sorted(self.counters)}
+
+    def digest(self) -> str:
+        return counter_digest(self.counters)
+
+
+def counter_digest(counters: Mapping[str, int]) -> str:
+    """CRC32 digest over the sorted counter set.
+
+    Same role as the fleet campaign's trace digest: identical across two
+    same-seed runs, or the profiler (or the simulation under it) is
+    nondeterministic.
+    """
+    blob = json.dumps(sorted(counters.items()), separators=(",", ":")).encode()
+    return f"{zlib.crc32(blob) & 0xFFFFFFFF:08x}"
+
+
+def install_profiler(engine: "Engine") -> SimProfiler:
+    """Attach a fresh profiler to *engine*; returns it."""
+    profiler = SimProfiler()
+    engine._profiler = profiler
+    return profiler
+
+
+def uninstall_profiler(engine: "Engine") -> None:
+    engine._profiler = None

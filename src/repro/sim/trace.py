@@ -82,6 +82,12 @@ def install_tracer(engine: "Engine", limit: int = 100_000) -> Tracer:
 def trace(engine: "Engine", category: str, name: str, **detail: Any) -> None:
     """Emit an event if *engine* has a tracer installed (cheap no-op
     otherwise)."""
+    profiler = engine._profiler
+    if profiler is not None:
+        # Per-epoch hot-counter attribution: protocol-event volume by
+        # category (see repro.sim.profiler).  Counting is independent of
+        # whether a tracer is installed, so profile runs need no tracer.
+        profiler.hit("trace." + category)
     tracer = getattr(engine, "tracer", None)
     if tracer is not None:
         tracer.emit(engine.now, category, name, **detail)

@@ -1,0 +1,429 @@
+"""Tests for the hot-path analyzer's static layers (classification + rules).
+
+Synthetic scope-file overrides exercise the classifier and each PERF rule
+in isolation (unique ``zz_``-prefixed names keep the name-based call graph
+from reaching real code); the real-tree tests pin the analyzer's verdict
+on the actual package, including the regression probe: the
+``perf_unoptimized_digest`` re-hash loop must surface as PERF002.
+"""
+
+import textwrap
+
+from repro.analysis.perf import (
+    DEFAULT_ROOTS,
+    analyze_perf,
+    build_hot_map,
+    load_perf_sources,
+    perf_selfcheck,
+)
+
+
+def classify(code, roots):
+    sources = load_perf_sources({"sim/engine.py": textwrap.dedent(code)})
+    return build_hot_map(sources, roots)
+
+
+def analyze(code, roots, select=None):
+    report = analyze_perf(
+        select=select,
+        overrides={"sim/engine.py": textwrap.dedent(code)},
+        roots=roots,
+    )
+    return [f for f in report.findings if f.path.endswith("sim/engine.py")]
+
+
+def selfcheck(code, roots):
+    sources = load_perf_sources({"sim/engine.py": textwrap.dedent(code)})
+    return perf_selfcheck(sources, roots)
+
+
+# --------------------------------------------------------------------------- #
+# Layer 1: classification                                                     #
+# --------------------------------------------------------------------------- #
+
+
+def test_reachability_from_root():
+    hot = classify(
+        """
+        def zz_root():
+            zz_helper()
+
+        def zz_helper():
+            zz_deep()
+
+        def zz_deep():
+            pass
+
+        def zz_unreachable():
+            pass
+        """,
+        roots=(("zz_root", "per-event"),),
+    )
+    assert hot["zz_root"].hotness == "per-event"
+    assert hot["zz_helper"].hotness == "per-event"
+    assert hot["zz_deep"].hotness == "per-event"
+    assert hot["zz_unreachable"].hotness is None
+
+
+def test_strongest_class_wins_on_shared_paths():
+    hot = classify(
+        """
+        def zz_epoch_root():
+            zz_shared()
+
+        def zz_event_root():
+            zz_shared()
+
+        def zz_shared():
+            pass
+        """,
+        roots=(
+            ("zz_epoch_root", "per-epoch"),
+            ("zz_event_root", "per-event"),
+        ),
+    )
+    assert hot["zz_shared"].hotness == "per-event"
+
+
+def test_method_calls_propagate_by_name():
+    hot = classify(
+        """
+        class ZzA:
+            def zz_entry(self):
+                self.zz_work()
+
+        class ZzB:
+            def zz_work(self):
+                pass
+        """,
+        roots=(("ZzA.zz_entry", "per-page"),),
+    )
+    # Name-based over-approximation: x.zz_work() reaches every zz_work.
+    assert hot["ZzB.zz_work"].hotness == "per-page"
+
+
+def test_header_annotation_seeds_classification():
+    hot = classify(
+        """
+        def zz_isolated():  # hot: per-page -- called from C, invisible here
+            zz_callee()
+
+        def zz_callee():
+            pass
+        """,
+        roots=(),
+    )
+    assert hot["zz_isolated"].hotness == "per-page"
+    assert hot["zz_isolated"].declared == "per-page"
+    assert hot["zz_callee"].hotness == "per-page"
+
+
+def test_multiline_def_header_annotation():
+    hot = classify(
+        """
+        def zz_spread(
+            a,
+            b,
+        ):  # hot: per-event -- annotation on the closing-paren line
+            pass
+        """,
+        roots=(),
+    )
+    assert hot["zz_spread"].hotness == "per-event"
+
+
+def test_exempt_annotation_blocks_classification_and_propagation():
+    hot = classify(
+        """
+        def zz_root():
+            zz_reference()
+
+        def zz_reference():  # hot: exempt -- bench reference only
+            zz_downstream()
+
+        def zz_downstream():
+            pass
+        """,
+        roots=(("zz_root", "per-event"),),
+    )
+    assert hot["zz_reference"].exempt
+    assert hot["zz_reference"].hotness is None
+    # Exempt functions neither receive nor forward hotness.
+    assert hot["zz_downstream"].hotness is None
+
+
+def test_perf_exempt_class_attribute():
+    hot = classify(
+        """
+        class ZzInstrument:
+            __perf_exempt__ = True
+
+            def zz_probe(self):
+                pass
+
+        def zz_root():
+            zz_probe()
+        """,
+        roots=(("zz_root", "per-event"),),
+    )
+    assert hot["ZzInstrument.zz_probe"].exempt
+    assert hot["ZzInstrument.zz_probe"].hotness is None
+
+
+# --------------------------------------------------------------------------- #
+# Layer 1: selfcheck                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def test_selfcheck_flags_unreachable_root():
+    problems, _ = selfcheck("def zz_fn():\n    pass\n",
+                            roots=(("zz_missing_root", "per-event"),))
+    assert any("zz_missing_root" in p for p in problems)
+
+
+def test_selfcheck_flags_unknown_vocabulary():
+    problems, _ = selfcheck(
+        "def zz_fn():  # hot: blazing -- not a class\n    pass\n", roots=()
+    )
+    assert any("blazing" in p for p in problems)
+
+
+def test_selfcheck_flags_misplaced_annotation():
+    problems, _ = selfcheck(
+        """
+        def zz_fn():
+            x = 1
+            return x  # hot: per-event -- not on a def header
+        """,
+        roots=(),
+    )
+    assert any("not on a function def header" in p for p in problems)
+
+
+def test_selfcheck_flags_understated_annotation():
+    problems, _ = selfcheck(
+        """
+        def zz_root():
+            zz_understated()
+
+        def zz_understated():  # hot: per-epoch -- stale claim
+            pass
+        """,
+        roots=(("zz_root", "per-event"),),
+    )
+    assert any("understates" in p for p in problems)
+
+
+def test_selfcheck_real_tree_is_clean():
+    problems, dispositions = perf_selfcheck()
+    assert problems == []
+    # The documented roots are all classified.
+    for qualname, hotness in DEFAULT_ROOTS:
+        assert dispositions[qualname].startswith(hotness)
+    # The exemption vocabulary is in live use.
+    assert dispositions["SimProfiler.hit"] == "exempt"
+    assert dispositions["HostPool._load_scan"] == "exempt"
+
+
+# --------------------------------------------------------------------------- #
+# Layer 2: rules                                                              #
+# --------------------------------------------------------------------------- #
+
+_EVENT_ROOT = (("zz_hot", "per-event"),)
+_EPOCH_ROOT = (("zz_hot", "per-epoch"),)
+
+
+def test_perf001_allocation_in_hot_loop():
+    findings = analyze(
+        """
+        def zz_hot(self):
+            for item in self.items:
+                row = [part for part in item.parts]
+                box = dict(k=item)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF001"],
+    )
+    assert [f.rule_id for f in findings] == ["PERF001", "PERF001"]
+
+
+def test_perf001_not_reported_per_epoch_or_cold():
+    code = """
+        def zz_hot(self):
+            for item in self.items:
+                row = [part for part in item.parts]
+
+        def zz_cold(self):
+            for item in self.items:
+                row = [part for part in item.parts]
+        """
+    # per-epoch: building a list once per epoch is fine.
+    assert analyze(code, roots=_EPOCH_ROOT, select=["PERF001"]) == []
+    # cold function with the same body: never linted.
+    assert analyze(code, roots=(), select=["PERF001"]) == []
+
+
+def test_perf002_hashing_in_hot_loop_and_suppression():
+    code = """
+        import zlib
+
+        def zz_hot(self):
+            for page in self.pages:
+                self.crc = zlib.crc32(page)
+        """
+    findings = analyze(code, roots=_EPOCH_ROOT, select=["PERF002"])
+    assert [f.rule_id for f in findings] == ["PERF002"]
+
+    suppressed = code.replace(
+        "zlib.crc32(page)",
+        "zlib.crc32(page)  # nlint: disable=PERF002 -- dirty pages only",
+    )
+    assert analyze(suppressed, roots=_EPOCH_ROOT, select=["PERF002"]) == []
+
+
+def test_perf003_sort_per_event_and_in_hot_loops():
+    # sorted() anywhere in a per-event function fires...
+    findings = analyze(
+        """
+        def zz_hot(self):
+            return sorted(self.keys)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF003"],
+    )
+    assert [f.rule_id for f in findings] == ["PERF003"]
+    # ...but in a per-epoch function only loop bodies fire.
+    code = """
+        def zz_hot(self):
+            once = sorted(self.keys)
+            for group in self.groups:
+                group.members.sort()
+        """
+    findings = analyze(code, roots=_EPOCH_ROOT, select=["PERF003"])
+    assert len(findings) == 1
+    assert ".sort()" in findings[0].message
+
+
+def test_perf004_repeated_attribute_chain():
+    findings = analyze(
+        """
+        def zz_hot(self):
+            for item in self.items:
+                self.engine.emit(item)
+                self.engine.emit(item.left)
+                self.engine.emit(item.right)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF004"],
+    )
+    assert [f.rule_id for f in findings] == ["PERF004"]
+    assert "'self.engine.emit'" in findings[0].message
+
+
+def test_perf004_two_lookups_do_not_fire():
+    assert analyze(
+        """
+        def zz_hot(self):
+            for item in self.items:
+                self.engine.emit(item)
+                self.engine.emit(item.left)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF004"],
+    ) == []
+
+
+def test_perf005_lambda_per_event():
+    findings = analyze(
+        """
+        def zz_hot(self):
+            return min(self.hosts, key=lambda h: h.load)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF005"],
+    )
+    assert [f.rule_id for f in findings] == ["PERF005"]
+    # The same lambda in a per-epoch function (outside loops) is fine.
+    assert analyze(
+        """
+        def zz_hot(self):
+            return min(self.hosts, key=lambda h: h.load)
+        """,
+        roots=_EPOCH_ROOT,
+        select=["PERF005"],
+    ) == []
+
+
+def test_perf006_aggregate_scans():
+    findings = analyze(
+        """
+        def zz_hot(self):
+            return sum(1 for host in self.allocations.values() if host)
+
+        def zz_hot_loop(self):
+            count = 0
+            for key, value in self.table.items():
+                if value:
+                    count += 1
+            return count
+        """,
+        roots=(("zz_hot", "per-event"), ("zz_hot_loop", "per-event")),
+        select=["PERF006"],
+    )
+    assert [f.rule_id for f in findings] == ["PERF006", "PERF006"]
+    assert "'self.allocations.values'" in findings[0].message
+    assert "'self.table'" in findings[1].message
+
+
+def test_perf006_transforming_loop_does_not_fire():
+    # A loop that does real per-item work is not an aggregate scan.
+    assert analyze(
+        """
+        def zz_hot(self):
+            for key, value in self.table.items():
+                self.emit(key, value)
+        """,
+        roots=_EVENT_ROOT,
+        select=["PERF006"],
+    ) == []
+
+
+# --------------------------------------------------------------------------- #
+# Real tree                                                                   #
+# --------------------------------------------------------------------------- #
+
+
+def test_real_tree_flags_unoptimized_digest_loop_as_perf002():
+    report = analyze_perf(select=["PERF002"])
+    hits = [
+        f for f in report.findings
+        if f.path.endswith("replication/statecache.py")
+    ]
+    assert len(hits) == 1
+    # The optimized dirty-page loop is suppressed with a justification;
+    # only the perf_unoptimized_digest regression loop may fire.
+    assert "hashes a whole buffer" in hits[0].message
+
+
+def test_real_tree_flags_pair_count_scan_as_perf006():
+    report = analyze_perf(select=["PERF006"])
+    assert any(
+        f.path.endswith("fleet/pool.py") for f in report.findings
+    ), "HostPool.pair_count's full scan should be the documented debt"
+
+
+def test_real_tree_engine_dispatch_loop_is_clean():
+    report = analyze_perf()
+    assert [f for f in report.findings if f.path.endswith("sim/engine.py")] == []
+
+
+def test_real_tree_findings_match_checked_in_baseline():
+    from pathlib import Path
+
+    from repro.analysis.baseline import apply_baseline, load_baseline
+
+    baseline_file = Path(__file__).resolve().parents[2] / "perf-baseline.json"
+    baseline = load_baseline(baseline_file)
+    part = apply_baseline(analyze_perf().findings, baseline)
+    assert part.new == [], "un-baselined PERF findings: run repro perf lint"
+    assert part.stale == [], "stale perf-baseline.json entries: re-freeze"

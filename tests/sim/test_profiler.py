@@ -1,0 +1,106 @@
+"""Unit tests for the deterministic hot-path profiler (perf Layer 3).
+
+The profiler is a pure counter instrument: no wall clock, no entropy —
+two same-seed runs must produce byte-identical counter sets, and the
+engine must pay nothing when no profiler is installed.
+"""
+
+from repro.sim.engine import Engine
+from repro.sim.profiler import (
+    SimProfiler,
+    counter_digest,
+    install_profiler,
+    uninstall_profiler,
+)
+
+
+def test_hit_accumulates_by_site():
+    prof = SimProfiler()
+    prof.hit("mm.pages_written")
+    prof.hit("mm.pages_written", 4)
+    prof.hit("digest.bytes_hashed", 4096)
+    assert prof.counters == {
+        "mm.pages_written": 5,
+        "digest.bytes_hashed": 4096,
+    }
+
+
+def test_harvest_folds_object_counters():
+    prof = SimProfiler()
+    prof.hit("pool.slot_ops", 2)
+    prof.harvest({"pool.slot_ops": 3, "pagestore.pages_stored": 7})
+    assert prof.counters["pool.slot_ops"] == 5
+    assert prof.counters["pagestore.pages_stored"] == 7
+
+
+def test_snapshot_is_sorted_by_site():
+    prof = SimProfiler()
+    prof.hit("zz.last")
+    prof.hit("aa.first")
+    prof.hit("mm.middle")
+    assert list(prof.snapshot()) == ["aa.first", "mm.middle", "zz.last"]
+
+
+def test_counter_digest_is_order_independent_and_value_sensitive():
+    a = {"engine.events": 10, "mm.pages_written": 3}
+    b = {"mm.pages_written": 3, "engine.events": 10}
+    assert counter_digest(a) == counter_digest(b)
+    assert counter_digest(a) != counter_digest({**a, "engine.events": 11})
+    assert counter_digest(a) != counter_digest({"engine.events": 10})
+    assert len(counter_digest(a)) == 8
+    int(counter_digest(a), 16)  # 8 hex chars
+
+
+def test_install_and_uninstall():
+    engine = Engine()
+    assert engine._profiler is None
+    prof = install_profiler(engine)
+    assert engine._profiler is prof
+    uninstall_profiler(engine)
+    assert engine._profiler is None
+
+
+def _ticker(engine, n):
+    for _ in range(n):
+        yield engine.timeout(5)
+
+
+def test_engine_hooks_count_dispatch_and_resume():
+    engine = Engine()
+    prof = install_profiler(engine)
+    engine.process(_ticker(engine, 10), name="tick")
+    engine.run()
+    counters = prof.snapshot()
+    # Each timeout is one dispatched event; the initial kick plus each
+    # timeout completion resumes the process.
+    assert counters["engine.events"] >= 10
+    assert counters["engine.resume.tick"] == 11
+    assert counters["engine.heap_push"] >= 10
+    # Per-class attribution sums to the total.
+    per_class = sum(
+        count for site, count in counters.items()
+        if site.startswith("engine.events.")
+    )
+    assert per_class == counters["engine.events"]
+
+
+def test_same_seedless_sim_replays_identical_digest():
+    digests = []
+    for _ in range(2):
+        engine = Engine()
+        prof = install_profiler(engine)
+        engine.process(_ticker(engine, 25), name="a")
+        engine.process(_ticker(engine, 13), name="b")
+        engine.run()
+        digests.append(prof.digest())
+    assert digests[0] == digests[1]
+
+
+def test_uninstalled_engine_counts_nothing():
+    engine = Engine()
+    prof = install_profiler(engine)
+    uninstall_profiler(engine)
+    engine.process(_ticker(engine, 5), name="tick")
+    engine.run()
+    assert prof.counters == {}
+    assert engine.n_dispatched > 0
