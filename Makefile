@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -111,6 +111,22 @@ fleet-smoke:
 # Regenerate the checked-in BENCH_fleet.json (review the diff!).
 fleet-bench:
 	PYTHONPATH=src $(PYTHON) -m repro fleet bench --out BENCH_fleet.json
+
+# L7 traffic tier: full-scale open-loop SLO campaign (>=1000 concurrent
+# sessions, each profile replayed twice for digest determinism), then the
+# bench gated against the checked-in BENCH_traffic.json.
+traffic:
+	PYTHONPATH=src $(PYTHON) -m repro traffic campaign
+	PYTHONPATH=src $(PYTHON) -m repro traffic bench --check BENCH_traffic.json
+
+# CI subset: the reduced campaign + the same SLO regression gate.
+traffic-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro traffic campaign --smoke
+	PYTHONPATH=src $(PYTHON) -m repro traffic bench --check BENCH_traffic.json
+
+# Regenerate the checked-in BENCH_traffic.json (review the diff!).
+traffic-bench:
+	PYTHONPATH=src $(PYTHON) -m repro traffic bench --out BENCH_traffic.json
 
 report:
 	$(PYTHON) -m repro report

@@ -244,7 +244,28 @@ def _cmd_report(args) -> int:
                if fleet_report["ok"]
                else f"{len(fleet_report['violations'])} violation(s)")
     print(f"\ncampaign: {verdict}")
-    return 0
+
+    print("\n## Traffic — client-visible SLOs behind the L7 proxy\n")
+    from repro.experiments.traffic import run_traffic_campaign
+
+    # Full scale on purpose: the open-loop steady profile must sustain
+    # >=1000 concurrent sessions for the tail to be representative.
+    traffic_report = run_traffic_campaign(seed=args.seed, smoke=False)
+    print(
+        f"Open-loop traffic against "
+        f"{traffic_report['fleet']['containers']} members on "
+        f"{traffic_report['fleet']['hosts']} hosts; peak "
+        f"{traffic_report['peak_sessions']} concurrent sessions.\n"
+    )
+    print(traffic_report["table"])
+    traffic_verdict = (
+        f"all oracles held; SLO table replay-identical "
+        f"(digest {traffic_report['slo_digest']})"
+        if traffic_report["ok"]
+        else f"{len(traffic_report['violations'])} violation(s)"
+    )
+    print(f"\ntraffic: {traffic_verdict}")
+    return 0 if fleet_report["ok"] and traffic_report["ok"] else 1
 
 
 def _cmd_lint(args) -> int:
@@ -730,6 +751,60 @@ def _cmd_fleet(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_traffic(args) -> int:
+    """L7 traffic tier: open-loop SLO campaign, profiles, latency bench."""
+    import json
+
+    from repro.experiments.traffic import (
+        check_traffic_bench,
+        format_traffic_bench,
+        format_traffic_campaign,
+        run_traffic_bench,
+        run_traffic_campaign,
+        traffic_profiles,
+        write_traffic_bench_json,
+    )
+
+    if args.action == "profiles":
+        for scenario in traffic_profiles(smoke=args.smoke):
+            profile = scenario.profile
+            event = f"  [{scenario.event}]" if scenario.event else ""
+            print(
+                f"  {profile.name:<10} {profile.arrival:<8} "
+                f"{profile.rate_rps:7.0f} sess/s x {profile.duration_us // 1000} ms, "
+                f"{profile.requests_per_session} req/session{event}"
+            )
+        return 0
+
+    if args.action == "campaign":
+        report = run_traffic_campaign(seed=args.seed, smoke=args.smoke)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_traffic_campaign(report))
+        return 0 if report["ok"] else 1
+
+    # action == "bench"
+    report = run_traffic_bench(seed=args.seed)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_traffic_bench(report))
+    if args.out:
+        write_traffic_bench_json(report, args.out)
+        print(f"\nwrote {args.out}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = check_traffic_bench(report, baseline)
+        for problem in problems:
+            print(f"repro traffic: REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"traffic bench gate: within tolerance of {args.check}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -917,6 +992,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench only: also write the JSON report here "
                             "(e.g. BENCH_fleet.json)")
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="L7 traffic tier: open-loop SLO campaign and latency bench",
+    )
+    traffic.add_argument("action",
+                         choices=("campaign", "bench", "profiles"))
+    traffic.add_argument("--smoke", action="store_true",
+                         help="reduced CI variant of campaign/profiles")
+    traffic.add_argument("--json", action="store_true",
+                         help="emit the full JSON report")
+    traffic.add_argument("--out", default=None, metavar="FILE",
+                         help="bench only: also write the JSON report here "
+                              "(e.g. BENCH_traffic.json)")
+    traffic.add_argument("--check", default=None, metavar="FILE",
+                         help="bench only: gate SLO cells against a "
+                              "checked-in BENCH_traffic.json (fail on >20%% "
+                              "p99 rise or throughput drop)")
+
     return parser
 
 
@@ -937,6 +1030,7 @@ _COMMANDS = {
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,
     "fleet": _cmd_fleet,
+    "traffic": _cmd_traffic,
 }
 
 

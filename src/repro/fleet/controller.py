@@ -136,6 +136,12 @@ class FleetController:
         self.members: dict[str, FleetMember] = {}
         #: Per-member service re-attach hooks (run on failover/migration).
         self._service_attach: dict[str, Callable[[Container], None]] = {}
+        #: Observers of member state transitions — ``fn(member, state)``
+        #: called synchronously from :meth:`_set_state`.  The traffic
+        #: proxy subscribes here so controller-known transitions (a member
+        #: entering ``migrating`` or ``dead``) drive upstream draining
+        #: without waiting a health-probe round trip.
+        self.state_listeners: list[Callable[[str, str], None]] = []
         self.controller_restarts = 0
         self._stopped = False
         self._control_process: Process | None = None
@@ -237,6 +243,8 @@ class FleetController:
         member.state = state
         trace(self.engine, "fleet", "member_state", member=member.name,
               state=state)
+        for listener in self.state_listeners:
+            listener(member.name, state)
 
     # ------------------------------------------------------------------ #
     # Control loop                                                         #

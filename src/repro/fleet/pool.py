@@ -54,6 +54,13 @@ class HostPool:
         #: (the rebalancer queries it per host per tick — the PERF006
         #: finding this index retired; ``_load_scan`` is the reference).
         self._load: dict[str, int] = {}
+        #: Maintained pair index: ``(primary_host, backup_host)`` -> member
+        #: count.  Same contract as ``_load``: updated at every mutation
+        #: site so :meth:`pair_count` is O(1) instead of a scan over every
+        #: allocation (placement queries it per candidate host pair — the
+        #: PERF006 finding this index retired; ``_pair_count_scan`` is the
+        #: reference).
+        self._pairs: dict[tuple[str, str], int] = {}
         #: One shared channel per unordered host pair.
         self._channels: dict[frozenset[str], Channel] = {}
         #: Perf-profiler harvest counters (always on).
@@ -105,7 +112,13 @@ class HostPool:
     def pair_count(self, primary_name: str, backup_name: str) -> int:
         """Members already replicating primary->backup over this host pair
         (soft anti-affinity input: one pair failure should not take out
-        many members at once)."""
+        many members at once).  O(1) via the maintained pair index."""
+        return self._pairs.get((primary_name, backup_name), 0)
+
+    def _pair_count_scan(self, primary_name: str, backup_name: str) -> int:  # hot: exempt -- reference implementation for the equivalence test, never on the hot path
+        """Reference implementation of :meth:`pair_count`: the
+        O(allocations) scan the index replaced.  Kept for the equivalence
+        test; never on the hot path."""
         count = 0
         for (member, role), host in self.allocations.items():
             if role != "primary" or host != primary_name:
@@ -113,6 +126,31 @@ class HostPool:
             if self.allocations.get((member, "backup")) == backup_name:
                 count += 1
         return count
+
+    def _member_pair(self, member: str) -> tuple[str, str] | None:
+        """The (primary_host, backup_host) pair *member* currently spans,
+        or None while either side is unallocated (staging roles like
+        ``primary-next`` do not form a pair until committed)."""
+        primary = self.allocations.get((member, "primary"))
+        backup = self.allocations.get((member, "backup"))
+        if primary is None or backup is None:
+            return None
+        return (primary, backup)
+
+    def _reindex_pair(self, member: str, before: tuple[str, str] | None) -> None:
+        """Move *member*'s contribution in the pair index from *before*
+        (its pair prior to a mutation) to its current pair."""
+        after = self._member_pair(member)
+        if after == before:
+            return
+        if before is not None:
+            remaining = self._pairs[before] - 1
+            if remaining:
+                self._pairs[before] = remaining
+            else:
+                del self._pairs[before]
+        if after is not None:
+            self._pairs[after] = self._pairs.get(after, 0) + 1
 
     # -- slot bookkeeping ----------------------------------------------- #
     def allocate(self, member: str, role: str, host: Host) -> None:
@@ -127,18 +165,22 @@ class HostPool:
             raise PoolExhausted(f"host {host.name} has no free slot")
         record_access(self.engine, self, "pool_slots", "w", key=host.name,
                       site="pool.allocate")
+        before = self._member_pair(member)
         self.allocations[key] = host.name
         self._load[host.name] = self._load.get(host.name, 0) + 1
+        self._reindex_pair(member, before)
         self.slot_ops += 1
         trace(self.engine, "fleet", "slot_allocated", member=member, role=role,
               host=host.name)
 
     def release(self, member: str, role: str) -> None:
+        before = self._member_pair(member)
         host = self.allocations.pop((member, role), None)
         if host is not None:
             record_access(self.engine, self, "pool_slots", "w", key=host,
                           site="pool.release")
             self._load[host] -= 1
+            self._reindex_pair(member, before)
             self.slot_ops += 1
             trace(self.engine, "fleet", "slot_released", member=member,
                   role=role, host=host)
@@ -147,10 +189,12 @@ class HostPool:
         """After a failover the old backup host carries the member's new
         primary: re-label its slot instead of releasing + re-allocating
         (which could lose the slot to a concurrent claimant)."""
+        before = self._member_pair(member)
         host = self.allocations.pop((member, "backup"))
         record_access(self.engine, self, "pool_slots", "w", key=host,
                       site="pool.promote_backup")
         self.allocations[(member, "primary")] = host
+        self._reindex_pair(member, before)
         self.slot_ops += 1  # same host keeps the slot: _load is unchanged
         trace(self.engine, "fleet", "slot_promoted", member=member, host=host)
 
@@ -158,10 +202,12 @@ class HostPool:
         """Re-label a held slot (e.g. ``primary-next`` -> ``primary`` at
         migration cutover) without a release/allocate window in which a
         concurrent claimant could steal it."""
+        before = self._member_pair(member)
         host = self.allocations.pop((member, from_role))
         record_access(self.engine, self, "pool_slots", "w", key=host,
                       site="pool.commit_role")
         self.allocations[(member, to_role)] = host
+        self._reindex_pair(member, before)
         self.slot_ops += 1  # same host keeps the slot: _load is unchanged
         trace(self.engine, "fleet", "slot_committed", member=member,
               role=to_role, host=host)

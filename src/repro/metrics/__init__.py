@@ -8,6 +8,16 @@ paper's shapes.
 """
 
 from repro.metrics.collector import EpochRecord, RecoveryBreakdown, RunMetrics
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.slo import SloRow, SloTable
 from repro.metrics.stats import percentile
 
-__all__ = ["EpochRecord", "RecoveryBreakdown", "RunMetrics", "percentile"]
+__all__ = [
+    "EpochRecord",
+    "LatencyHistogram",
+    "RecoveryBreakdown",
+    "RunMetrics",
+    "SloRow",
+    "SloTable",
+    "percentile",
+]

@@ -1,0 +1,136 @@
+"""Deterministic log-bucketed latency histogram (HdrHistogram-lite).
+
+The traffic tier records hundreds of thousands of request latencies per
+campaign; keeping every sample (as :class:`ClientStats` does for the small
+closed-loop drivers) would dominate memory and make percentile queries
+O(n log n).  This histogram buckets integer-microsecond values into 32
+sub-buckets per octave — ≤ ~3% quantization error — in O(1) per record,
+with exact min/max/mean and deterministic content (a plain dict of bucket
+counts, so two same-seed runs digest identically).
+
+Percentiles use the same nearest-rank convention as
+:func:`repro.metrics.stats.percentile` (rank ``ceil(p/100 * n)``, with the
+same epsilon guard against float representation error), so the SLO tables
+and the list-based reports agree on what "p99" means.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+__all__ = ["LatencyHistogram"]
+
+#: Sub-buckets per octave.  Values below _SUB are exact.
+_SUB = 32
+#: bit_length of _SUB: values with more bits get scaled into [_SUB, 2*_SUB).
+_SUB_BITS = _SUB.bit_length()
+
+
+def _bucket(value: int) -> int:
+    """Bucket index for *value* (a non-negative integer microsecond)."""
+    shift = value.bit_length() - _SUB_BITS
+    if shift <= 0:
+        return value
+    return _SUB * shift + (value >> shift)
+
+
+def _bucket_upper(index: int) -> int:
+    """Largest value mapping to bucket *index* (the reported percentile:
+    pessimistic by ≤ 1/32, never optimistic)."""
+    if index < 2 * _SUB:
+        return index
+    shift = index // _SUB - 1
+    mantissa = index - _SUB * shift
+    return ((mantissa + 1) << shift) - 1
+
+
+class LatencyHistogram:
+    """Bucketed distribution of non-negative integer samples (µs)."""
+
+    __slots__ = ("counts", "n", "total", "min_value", "max_value")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = {}
+        self.n = 0
+        self.total = 0
+        self.min_value: int | None = None
+        self.max_value: int | None = None
+
+    def record(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError(f"negative latency sample {value}")
+        index = _bucket(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.n += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.n += other.n
+        self.total += other.total
+        for bound in ("min_value", "max_value"):
+            theirs = getattr(other, bound)
+            ours = getattr(self, bound)
+            if theirs is not None and (
+                ours is None
+                or (bound == "min_value" and theirs < ours)
+                or (bound == "max_value" and theirs > ours)
+            ):
+                setattr(self, bound, theirs)
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile (µs), mirroring ``stats.percentile``.
+
+        Raises on an empty histogram.  The top rank returns the exact
+        recorded max rather than its bucket bound.
+        """
+        if not self.n:
+            raise ValueError("percentile of empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        if p == 0:
+            assert self.min_value is not None
+            return self.min_value
+        rank = max(1, math.ceil(p / 100 * self.n - 1e-9))
+        if rank >= self.n:
+            assert self.max_value is not None
+            return self.max_value
+        seen = 0
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= rank:
+                # Clip the bucket bound to the exact max so a lower
+                # percentile can never report above a higher one.
+                assert self.max_value is not None
+                return min(_bucket_upper(index), self.max_value)
+        raise AssertionError("rank ran past histogram")  # pragma: no cover
+
+    def mean(self) -> float:
+        if not self.n:
+            raise ValueError("mean of empty histogram")
+        return self.total / self.n
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """(bucket upper bound, count) pairs in value order."""
+        for index in sorted(self.counts):
+            yield _bucket_upper(index), self.counts[index]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical (sorted, digestable) representation."""
+        return {
+            "n": self.n,
+            "total": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": {str(i): self.counts[i] for i in sorted(self.counts)},
+        }

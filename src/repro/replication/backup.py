@@ -198,6 +198,7 @@ class BackupAgent:
         and the re-ack heals a lost original ack.  A future epoch is parked
         in ``_out_of_order`` until its predecessors commit.
         """
+        engine = self.engine  # hoisted off the per-delivery hot loop (PERF004)
         try:
             while not self._stopped:
                 epoch, image, delivery = yield self._state_queue.get()
@@ -209,34 +210,40 @@ class BackupAgent:
                     yield self._charge(
                         image.dirty_page_count * self.kernel.costs.decompress_per_page
                     )
-                record_access(self.engine, self, "committed_epoch", "r",
+                record_access(engine, self, "committed_epoch", "r",
                               site="backup.commit_loop")
-                if epoch <= self.committed_epoch:
+                # One attribute read per delivery; _receive_and_commit
+                # returns the (possibly advanced) committed epoch so the
+                # unpark loop never re-resolves the chain.
+                committed = self.committed_epoch
+                if epoch <= committed:
                     self._send_ack(epoch)
                     continue
-                if epoch > self.committed_epoch + 1:
-                    record_access(self.engine, self, "epoch_stash", "w", key=epoch,
+                if epoch > committed + 1:
+                    record_access(engine, self, "epoch_stash", "w", key=epoch,
                                   site="backup.park_out_of_order")
                     self._out_of_order[epoch] = (image, delivery)
                     continue
-                yield from self._receive_and_commit(epoch, image, delivery)
-                while self.committed_epoch + 1 in self._out_of_order:
-                    next_epoch = self.committed_epoch + 1
-                    record_access(self.engine, self, "epoch_stash", "w",
+                committed = yield from self._receive_and_commit(epoch, image, delivery)
+                while committed + 1 in self._out_of_order:
+                    next_epoch = committed + 1
+                    record_access(engine, self, "epoch_stash", "w",
                                   key=next_epoch, site="backup.unpark")
                     image, delivery = self._out_of_order.pop(next_epoch)  # nlint: disable=RACE001 -- tracked via record_access as "epoch_stash"
-                    yield from self._receive_and_commit(next_epoch, image, delivery)
+                    committed = yield from self._receive_and_commit(next_epoch, image, delivery)
         except Interrupt:
             return  # teardown, or recovery quiescing an in-flight commit
 
     def _receive_and_commit(
         self, epoch: int, image: CheckpointImage, delivery: Any
-    ) -> Generator[Any, Any, None]:
+    ) -> Generator[Any, Any, int]:
+        """Commit one epoch; returns the committed epoch after this attempt
+        (unchanged when the commit was abandoned by a failover)."""
         # Wait until this epoch's disk writes are fully here too.
         for drbd in self.drbd:
             yield drbd.epoch_complete(epoch)
         if self.failed_over:
-            return
+            return self.committed_epoch
         self.received_epoch = max(self.received_epoch, epoch)
         trace(self.engine, "backup", "state_received", epoch=epoch)
         # Receipt confirmation is what un-freezes a non-staging primary; it
@@ -264,6 +271,7 @@ class BackupAgent:
             # ACK only once the epoch is durable: the primary may now
             # release this epoch's buffered output.
             self._send_ack(epoch)
+        return self.committed_epoch
 
     def _send_ack(self, epoch: int) -> None:
         self.endpoint.send({"kind": "ack", "epoch": epoch}, size_bytes=64)

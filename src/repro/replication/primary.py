@@ -334,6 +334,8 @@ class PrimaryAgent:
     # Acknowledgments → output release                                     #
     # ------------------------------------------------------------------ #
     def _ack_loop(self) -> Generator[Any, Any, None]:
+        engine = self.engine  # hoisted off the per-ack hot loop (PERF004)
+        netbuffer = self.netbuffer
         while not self._stopped:
             try:
                 delivery = yield self.endpoint.recv()
@@ -345,7 +347,7 @@ class PrimaryAgent:
                 # The backup holds the epoch's state; a frozen non-staging
                 # container may thaw.  No release authority — that needs
                 # the post-commit ack.
-                record_access(self.engine, self, "receipt_events", "w",
+                record_access(engine, self, "receipt_events", "w",
                               key=message["epoch"], site="primary.ack_loop.receipt")
                 event = self._receipt_events.pop(message["epoch"], None)
                 if event is not None and not event.triggered:
@@ -354,21 +356,24 @@ class PrimaryAgent:
             if kind != "ack":
                 continue
             epoch = message["epoch"]
-            trace(self.engine, "epoch", "acked", epoch=epoch)
-            if epoch > self.netbuffer.acked_epoch:
-                record_access(self.engine, self.netbuffer, "acked_epoch", "w",
+            trace(engine, "epoch", "acked", epoch=epoch)
+            # One read of the high-water mark per ack; the local tracks the
+            # (single, cumulative) advance below.
+            acked = netbuffer.acked_epoch
+            if epoch > acked:
+                record_access(engine, netbuffer, "acked_epoch", "w",
                               site="primary.ack_loop")
-                self.netbuffer.acked_epoch = epoch
+                netbuffer.acked_epoch = acked = epoch
             # Cumulative release: drain every barrier up to the highest
             # acknowledged epoch.  Addressed by epoch id, so a duplicated,
             # reordered or dropped ack can never pop a later epoch's
             # barrier — a skipped ack is healed by the next one.
-            released = self.netbuffer.release_epoch(self.netbuffer.acked_epoch)
+            released = netbuffer.release_epoch(acked)
             self.metrics.packets_released += released
             for pending in sorted(self._receipt_events):  # nlint: disable=PERF003 -- receipts must wake in epoch order; the pending set is tiny
-                if pending > self.netbuffer.acked_epoch:
+                if pending > acked:
                     break
-                record_access(self.engine, self, "receipt_events", "w", key=pending,
+                record_access(engine, self, "receipt_events", "w", key=pending,
                               site="primary.ack_loop.release_receipt")
                 event = self._receipt_events.pop(pending)
                 if not event.triggered:

@@ -1,0 +1,29 @@
+"""L7 traffic tier: reverse proxy, open-loop generator, SLO reporting.
+
+:mod:`repro.traffic.proxy` fronts the fleet's counter services with a
+keep-alive reverse proxy (health-check eviction, connection draining,
+reconnect-and-retry).  :mod:`repro.traffic.openloop` drives it with
+seeded Poisson / on-off session arrivals that do not slow down when the
+fleet stalls — so the latency tail records every epoch stall and
+failover at full client-visible weight.
+"""
+
+from repro.traffic.openloop import OpenLoopStats, OpenLoopTraffic, TrafficProfile
+from repro.traffic.proxy import (
+    PROXY_PORT,
+    REPLY_BYTES,
+    REQUEST_BYTES,
+    ProxyCounters,
+    TrafficProxy,
+)
+
+__all__ = [
+    "OpenLoopStats",
+    "OpenLoopTraffic",
+    "ProxyCounters",
+    "TrafficProfile",
+    "TrafficProxy",
+    "PROXY_PORT",
+    "REPLY_BYTES",
+    "REQUEST_BYTES",
+]

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.kernel.errors import ConnectionReset
 from repro.kernel.netdev import NetDevice
 from repro.kernel.tcp import TcpStack
+from repro.sim.units import sec
 from repro.workloads import protocol
 from repro.workloads.base import ClientStats
 
@@ -33,6 +34,11 @@ __all__ = ["ClosedLoopClients", "PipelinedClient", "make_client_stack"]
 
 #: (request body, response validator, operation count) for request *i*.
 RequestFactory = Callable[[int], tuple[bytes, Callable[[bytes], str | None], int]]
+
+#: Slack past ``run_until_us`` before a blocked recv gives up.  Must exceed
+#: the worst-case failover stall (detection + restore, ~3 s) so a deadline
+#: never fires on a request that legitimately survives recovery.
+RECV_GRACE_US = sec(5)
 
 _client_ips = 0
 
@@ -108,11 +114,14 @@ class PipelinedClient:
             try:
                 chunk = yield sock.recv(1 << 16)
             except ConnectionReset:
-                self.stats.errors += 1
+                # Every request still in flight is abandoned, not just the
+                # one we were waiting on.
+                self.stats.errors += len(self._inflight)
                 break
             if chunk == b"":
-                if self._inflight:
-                    self.stats.errors += 1
+                # Server half-closed with k requests in flight: all k are
+                # abandoned (a single shared error would under-count).
+                self.stats.errors += len(self._inflight)
                 break
             buffered += chunk
             while True:
@@ -123,9 +132,13 @@ class PipelinedClient:
                 failure = check(frame_body)
                 if failure is not None:
                     self.stats.validation_failures.append(f"req {i}: {failure}")
+                    # An unvalidated response is not a latency sample: a
+                    # corrupt fast reply would otherwise *improve* the
+                    # reported percentiles.
+                else:
+                    self.stats.latencies_us.append(self.world.now - sent_at)
                 self.stats.completed += 1
                 self.stats.operations += ops
-                self.stats.latencies_us.append(self.world.now - sent_at)
                 self.stats.bytes_received += len(frame_body)
         self.done = True
 
@@ -144,6 +157,7 @@ class ClosedLoopClients:
         think_us: int = 0,
         n_requests_per_client: int | None = None,
         run_until_us: int | None = None,
+        recv_timeout_us: int | None = None,
     ) -> None:
         self.world = world
         self.server_ip = server_ip
@@ -154,6 +168,7 @@ class ClosedLoopClients:
         self.think_us = think_us
         self.n_requests_per_client = n_requests_per_client
         self.run_until_us = run_until_us
+        self.recv_timeout_us = recv_timeout_us
         self.stack = make_client_stack(world, name="web-clients")
         self._request_counter = 0
         self._finished = 0
@@ -166,13 +181,36 @@ class ClosedLoopClients:
         for c in range(self.n_clients):
             self.world.engine.process(self._client(c), name=f"client-{c}")
 
+    def _recv_deadline_us(self, sent_at: int) -> int | None:
+        """Absolute deadline for the response to the request sent at
+        *sent_at*, or None for no deadline.  An explicit ``recv_timeout_us``
+        wins; otherwise a ``run_until_us`` run falls back to run end plus
+        :data:`RECV_GRACE_US` — generous enough to ride out a failover, but
+        finite, so an upstream that stalls forever can no longer wedge the
+        campaign (historically a client blocked in recv only re-checked
+        ``run_until_us`` before *sending*)."""
+        if self.recv_timeout_us is not None:
+            return sent_at + self.recv_timeout_us
+        if self.run_until_us is not None:
+            return self.run_until_us + RECV_GRACE_US
+        return None
+
     def _client(self, index: int):
+        # ``finally`` is the only exit path allowed to touch ``_finished``:
+        # every return/break/exception funnels through it exactly once, so
+        # ``done`` cannot stick false after a client dies.
+        try:
+            yield from self._client_loop(index)
+        finally:
+            self._finished += 1
+
+    def _client_loop(self, index: int):
+        engine = self.world.engine
         sock = self.stack.socket()
         try:
             yield sock.connect(self.server_ip, self.port)
         except ConnectionReset:
             self.stats.errors += 1
-            self._finished += 1
             return
         sent = 0
         buffered = b""
@@ -186,11 +224,27 @@ class ClosedLoopClients:
             sock.send(protocol.frame(body))
             sent += 1
             start = self.world.now
+            deadline = self._recv_deadline_us(start)
             frame_body = None
             failed = False
             while frame_body is None:
+                recv_ev = sock.recv(1 << 16)
                 try:
-                    chunk = yield sock.recv(1 << 16)
+                    if deadline is None:
+                        chunk = yield recv_ev
+                    else:
+                        fired = yield engine.any_of([
+                            recv_ev,
+                            engine.timeout(max(0, deadline - self.world.now)),
+                        ])
+                        if recv_ev not in fired:
+                            # Deadline expired with the request outstanding:
+                            # abandon it (the leaked recv waiter is inert —
+                            # this client never reads again).
+                            self.stats.errors += 1
+                            failed = True
+                            break
+                        chunk = fired[recv_ev]
                 except ConnectionReset:
                     self.stats.errors += 1
                     failed = True
@@ -212,4 +266,3 @@ class ClosedLoopClients:
             self.stats.bytes_received += len(frame_body)
             if self.think_us:
                 yield self.world.engine.timeout(self.think_us)
-        self._finished += 1

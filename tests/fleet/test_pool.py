@@ -74,6 +74,46 @@ def test_pair_count_counts_directional_pairs(pool):
     assert pool.pair_count("node1", "node0") == 0
 
 
+def all_pairs(pool):
+    """Every directional host pair, indexed vs the reference scan."""
+    names = sorted(pool.hosts)
+    return {
+        (a, b): (pool.pair_count(a, b), pool._pair_count_scan(a, b))
+        for a in names for b in names
+    }
+
+
+def test_pair_index_matches_scan_through_every_mutation(pool):
+    """The O(1) pair index must agree with the O(allocations) reference
+    scan after every kind of slot mutation (the lockstep contract that
+    retired the PERF006 full-scan finding)."""
+    def check():
+        for pair, (indexed, scanned) in all_pairs(pool).items():
+            assert indexed == scanned, pair
+
+    pool.allocate("svc0", "primary", pool.host("node0"))
+    check()  # half-allocated member forms no pair yet
+    pool.allocate("svc0", "backup", pool.host("node1"))
+    pool.allocate("svc1", "primary", pool.host("node1"))
+    pool.allocate("svc1", "backup", pool.host("node2"))
+    check()
+    # Failover path: backup slot relabels to primary (pair dissolves).
+    pool.promote_backup("svc0")
+    check()
+    pool.allocate("svc0", "backup", pool.host("node2"))
+    check()  # re-protection forms the new node1->node2 pair
+    # Migration path: staging role holds no pair until committed.
+    pool.release("svc1", "primary")
+    pool.allocate("svc1", "primary-next", pool.host("node0"))
+    check()
+    pool.commit_role("svc1", "primary-next", "primary")
+    check()
+    pool.release("svc0", "primary")
+    pool.release("svc0", "backup")
+    check()
+    assert pool.pair_count("node1", "node2") == 0
+
+
 def test_channel_between_is_cached_and_symmetric(pool):
     a, b = pool.host("node0"), pool.host("node1")
     channel = pool.channel_between(a, b)

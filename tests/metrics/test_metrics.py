@@ -38,6 +38,52 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1], 101)
 
+    def test_golden_hand_computed_ranks(self):
+        # Nearest-rank: rank = ceil(p/100 * n), 1-indexed into the sorted
+        # sample.  Every expectation below is hand-computed.
+        two = [10, 20]
+        assert percentile(two, 50) == 10   # ceil(1.0) = rank 1, not round(1.5)
+        assert percentile(two, 50.1) == 20  # ceil(1.002) = rank 2
+        assert percentile(two, 25) == 10   # ceil(0.5) = rank 1
+        assert percentile(two, 75) == 20   # ceil(1.5) = rank 2
+        four = [1, 2, 3, 4]
+        assert percentile(four, 25) == 1   # ceil(1.0) = rank 1
+        assert percentile(four, 50) == 2   # ceil(2.0) = rank 2
+        assert percentile(four, 74) == 3   # ceil(2.96) = rank 3
+        assert percentile(four, 75) == 3   # ceil(3.0) = rank 3 exactly
+        assert percentile(four, 76) == 4   # ceil(3.04) = rank 4
+        five = [15, 20, 35, 40, 50]
+        assert percentile(five, 5) == 15   # ceil(0.25) -> clamped to rank 1
+        assert percentile(five, 30) == 20  # ceil(1.5) = rank 2
+        assert percentile(five, 40) == 20  # ceil(2.0) = rank 2
+        assert percentile(five, 95) == 50  # ceil(4.75) = rank 5
+
+    def test_regression_double_rounding(self):
+        # The historical int(round(p/100*n + 0.5)) double-rounded exact
+        # ranks: p50 of 2 samples computed round(1.5) -> 2 (banker's
+        # rounding on the *shifted* value) and returned the max.
+        assert percentile([10, 20], 50) == 10
+        # p25 of 6: exact rank 1.5 -> ceil 2; the old formula hit
+        # round(2.0) = 2 too, but p50 of 6 (rank 3.0) hit round(3.5) -> 4.
+        six = [1, 2, 3, 4, 5, 6]
+        assert percentile(six, 25) == 2
+        assert percentile(six, 50) == 3
+        assert percentile(six, 100) == 6
+
+    def test_p999_small_samples(self):
+        # p999 on samples smaller than 1000 must return the max (rank
+        # ceil(0.999 * n) == n for all n < 1000), never run past the end.
+        assert percentile([5], 99.9) == 5
+        assert percentile([10, 20], 99.9) == 20
+        assert percentile(list(range(100)), 99.9) == 99
+        assert percentile(list(range(999)), 99.9) == 998
+        # At n = 1000 the p999 rank is exactly 999: second-largest.
+        thousand = list(range(1, 1001))
+        assert percentile(thousand, 99.9) == 999
+        assert percentile(thousand, 100) == 1000
+        # And n = 2000: ceil(1998.0) = rank 1998.
+        assert percentile(list(range(1, 2001)), 99.9) == 1998
+
     @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
     def test_property_percentile_bounds_and_monotone(self, values):
         p10 = percentile(values, 10)

@@ -73,3 +73,10 @@ def test_audit_command(capsys):
     assert main(["audit", "net", "--run-ms", "400"]) == 0
     out = capsys.readouterr().out
     assert "invariants held" in out and "epoch(s)" in out
+
+
+def test_traffic_profiles_lists_all_four(capsys):
+    assert main(["traffic", "profiles"]) == 0
+    out = capsys.readouterr().out
+    for name in ("steady", "bursty", "failover", "migration"):
+        assert name in out

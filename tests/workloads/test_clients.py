@@ -63,6 +63,103 @@ def test_pipelined_client_validation_failure_recorded():
     world.run(until=sec(2))
     assert len(stats.validation_failures) == 2
     assert not stats.ok
+    # Unvalidated responses are not latency samples: a corrupt fast reply
+    # must not improve the reported percentiles.
+    assert stats.completed == 2
+    assert stats.latencies_us == []
+
+
+def serve_raw(world, port=7000, name="raw-srv"):
+    """A bare in-test server socket outside any container."""
+    stack = make_client_stack(world, name)
+    srv = stack.socket()
+    srv.listen(port)
+    return stack, srv
+
+
+def test_pipelined_half_close_counts_every_abandoned_request():
+    world = World(seed=3)
+    stack, srv = serve_raw(world)
+
+    def server():
+        conn = yield srv.accept()
+        buf = b""
+        body = None
+        while body is None:
+            buf += yield conn.recv(1 << 16)
+            body, buf = protocol.peel_frame(buf)
+        # Answer exactly one request, then half-close with the remaining
+        # three still in flight.
+        conn.send(protocol.frame(body))
+        yield world.engine.timeout(ms(50))
+        conn.close()
+
+    world.engine.process(server(), name="half-close-server")
+    stats = ClientStats()
+    client = PipelinedClient(world, stack.ip, 7000, echo_request, stats,
+                             window=4, n_requests=4)
+    client.start()
+    world.run(until=sec(2))
+    assert client.done
+    assert stats.completed == 1
+    # Historically the empty chunk recorded a single error; all three
+    # abandoned in-flight requests must count.
+    assert stats.errors == 3
+
+
+def test_closed_loop_recv_deadline_unwedges_stalled_upstream():
+    world = World(seed=3)
+    stack, srv = serve_raw(world, name="blackhole-srv")
+
+    def server():
+        conns = []
+        while True:
+            conn = yield srv.accept()
+            conns.append(conn)  # accept, then never reply
+
+    world.engine.process(server(), name="blackhole-server")
+    stats = ClientStats()
+    clients = ClosedLoopClients(world, stack.ip, 7000, echo_request, stats,
+                                n_clients=2, run_until_us=ms(100))
+    clients.start()
+    # Historically these clients wedged in recv forever; the implicit
+    # run_until + grace deadline must retire them.
+    world.run(until=ms(100) + sec(6))
+    assert clients.done
+    assert stats.completed == 0
+    assert stats.errors == 2
+
+
+def test_closed_loop_explicit_recv_timeout():
+    world = World(seed=3)
+    stack, srv = serve_raw(world, name="blackhole-srv")
+
+    def server():
+        conns = []
+        while True:
+            conn = yield srv.accept()
+            conns.append(conn)
+
+    world.engine.process(server(), name="blackhole-server")
+    stats = ClientStats()
+    clients = ClosedLoopClients(world, stack.ip, 7000, echo_request, stats,
+                                n_clients=3, n_requests_per_client=1,
+                                recv_timeout_us=ms(200))
+    clients.start()
+    world.run(until=sec(2))
+    assert clients.done
+    assert stats.errors == 3
+
+
+def test_closed_loop_finished_on_connect_failure():
+    world = World(seed=3)  # nobody listening
+    stats = ClientStats()
+    clients = ClosedLoopClients(world, "10.0.1.99", 7000, echo_request, stats,
+                                n_clients=2, n_requests_per_client=1)
+    clients.start()
+    world.run(until=sec(8))
+    assert clients.done  # _finished incremented on the error path
+    assert stats.errors == 2
 
 
 def test_closed_loop_clients_run_until_deadline():
