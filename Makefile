@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench ndflow ndflow-smoke analyze golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -71,10 +71,33 @@ perf-smoke:
 perf-bench:
 	PYTHONPATH=src $(PYTHON) -m repro perf bench --out BENCH_engine.json
 
-# Re-pin the golden per-seed trace/metrics digests after an intentional
-# behavior change (review the diff!).
+# Nondeterminism-provenance analyzer: inventory self-check, NDF lint
+# against the checked-in baseline (only the unsafe_unlogged_draw knob is
+# frozen there), the record->replay oracle over the default matrix, and
+# the knob probe (the oracle MUST detect the unlogged draw).
+ndflow:
+	PYTHONPATH=src $(PYTHON) -m repro ndflow selfcheck
+	PYTHONPATH=src $(PYTHON) -m repro ndflow lint --baseline ndflow-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro ndflow replay
+	PYTHONPATH=src $(PYTHON) -m repro ndflow replay --knob unsafe-unlogged-draw > /dev/null
+
+# CI subset: baselined lint (selfcheck is implicit) + a one-workload
+# record->replay matrix and the same knob probe.
+ndflow-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro ndflow lint --baseline ndflow-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro ndflow replay --smoke
+	PYTHONPATH=src $(PYTHON) -m repro ndflow replay --smoke --knob unsafe-unlogged-draw > /dev/null
+
+# All five analyzer passes (nlint, races, ckptcov, perf, ndflow) as one
+# gate with a merged findings artifact; this is what CI runs.
+analyze:
+	PYTHONPATH=src $(PYTHON) -m repro analyze --json-out analyze-report.json
+
+# Re-pin the golden per-seed trace/metrics digests and the per-seed NDLog
+# digests after an intentional behavior change (review the diff!).
 golden-regen:
 	PYTHONPATH=src $(PYTHON) -c "from repro.analysis.fuzz import write_golden; write_golden('tests/golden/digests.json')"
+	PYTHONPATH=src $(PYTHON) -c "from repro.analysis.ndreplay import write_ndlog_golden; write_ndlog_golden('tests/golden/ndlog_digests.json')"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,173 @@
+"""Consolidated analyzer gate (``repro analyze`` / ``make analyze``).
+
+Runs all five analyzer families — nlint (DET/CKPT/RACE/ORD), races
+(happens-before + schedule fuzz), ckptcov (CKPT1xx + differential
+oracle), perf (PERF + profiler + bench gate), and ndflow (NDF +
+record→replay oracle) — through their real CLI entry points, so each
+step keeps its exact gate semantics (baselines, knob polarity,
+selfchecks).  The aggregate exit code is the max over steps, and the
+merged findings artifact re-runs the four static passes once more to
+tag every finding with its analyzer and baseline disposition.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import time
+
+__all__ = ["STEPS", "collect_findings", "format_summary", "run_all"]
+
+
+def _wall() -> float:
+    return time.monotonic()  # nlint: disable=DET001 -- step-timing display only; never feeds simulated state
+
+#: (analyzer, smoke argv, full argv) — argv is what ``repro.cli.main``
+#: receives; smoke mirrors the CI make targets, full the local ones.
+STEPS: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
+    ("nlint", ("lint", "src"), ("lint", "src")),
+    ("races", ("races", "--check-access"), ("races", "--check-access")),
+    ("races", ("races", "--smoke"), ("races",)),
+    ("races", ("races", "--fuzz", "--smoke"), ("races", "--fuzz")),
+    ("races", ("races", "--smoke", "--knob", "ack-before-commit"),
+     ("races", "--knob", "ack-before-commit")),
+    ("races", ("races", "--smoke", "--knob", "release-oldest"),
+     ("races", "--knob", "release-oldest")),
+    ("ckptcov", ("ckptcov", "--check-inventory"),
+     ("ckptcov", "--check-inventory")),
+    ("ckptcov",
+     ("ckptcov", "--baseline", "ckptcov-baseline.json", "--diff",
+      "--workload", "ssdb", "--workload", "net-echo"),
+     ("ckptcov", "--baseline", "ckptcov-baseline.json", "--diff")),
+    ("perf", ("perf", "selfcheck"), ("perf", "selfcheck")),
+    ("perf", ("perf", "lint", "--baseline", "perf-baseline.json"),
+     ("perf", "lint", "--baseline", "perf-baseline.json")),
+    ("perf", ("perf", "profile", "--smoke"), ("perf", "profile")),
+    ("perf", ("perf", "bench", "--smoke", "--check", "BENCH_engine.json"),
+     ("perf", "bench", "--check", "BENCH_engine.json")),
+    ("ndflow", ("ndflow", "selfcheck"), ("ndflow", "selfcheck")),
+    ("ndflow", ("ndflow", "lint", "--baseline", "ndflow-baseline.json"),
+     ("ndflow", "lint", "--baseline", "ndflow-baseline.json")),
+    ("ndflow", ("ndflow", "replay", "--smoke"), ("ndflow", "replay")),
+    ("ndflow",
+     ("ndflow", "replay", "--smoke", "--knob", "unsafe-unlogged-draw"),
+     ("ndflow", "replay", "--knob", "unsafe-unlogged-draw")),
+)
+
+#: Static pass -> (finding producer, baseline file or None).
+_BASELINES = {
+    "nlint": None,
+    "ckptcov": "ckptcov-baseline.json",
+    "perf": "perf-baseline.json",
+    "ndflow": "ndflow-baseline.json",
+}
+
+
+def _static_findings(analyzer: str):
+    if analyzer == "nlint":
+        from repro.analysis.linter import all_rules, lint_paths
+
+        return lint_paths(["src"], all_rules())
+    if analyzer == "ckptcov":
+        from repro.analysis.coverage import analyze_coverage
+
+        return analyze_coverage().findings
+    if analyzer == "perf":
+        from repro.analysis.perf import analyze_perf
+
+        return analyze_perf().findings
+    if analyzer == "ndflow":
+        from repro.analysis.ndflow import analyze_ndflow
+
+        return analyze_ndflow().findings
+    raise KeyError(analyzer)
+
+
+def collect_findings() -> list[dict]:
+    """One merged record per static finding across all four lint passes,
+    tagged with its analyzer and whether the checked-in baseline already
+    accounts for it (the dynamic passes gate via their step exit codes)."""
+    from repro.analysis.baseline import apply_baseline, load_baseline
+
+    merged: list[dict] = []
+    for analyzer, baseline_file in _BASELINES.items():
+        findings = _static_findings(analyzer)
+        baselined_ids: set[int] = set()
+        if baseline_file is not None:
+            try:
+                baseline = load_baseline(baseline_file)
+            except Exception:
+                baseline = {}
+            part = apply_baseline(
+                [f for f in findings if f.severity != "error"], baseline
+            )
+            baselined_ids = {id(f) for f in part.baselined}
+        for f in findings:
+            merged.append({
+                "analyzer": analyzer,
+                "rule": f.rule_id,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "severity": f.severity,
+                "message": f.message,
+                "baselined": id(f) in baselined_ids,
+            })
+    merged.sort(key=lambda r: (r["path"], r["line"], r["rule"]))
+    return merged
+
+
+def run_all(smoke: bool = True) -> dict:
+    """Run every step; never stops early (one report shows all failures)."""
+    from repro.cli import main as cli_main
+
+    steps: list[dict] = []
+    worst = 0
+    for analyzer, smoke_argv, full_argv in STEPS:
+        argv = list(smoke_argv if smoke else full_argv)
+        buf = io.StringIO()
+        start = _wall()
+        try:
+            with contextlib.redirect_stdout(buf):
+                code = cli_main(argv)
+        except Exception as exc:  # a crashed step must not hide the rest
+            buf.write(f"CRASH: {exc!r}\n")
+            code = 3
+        steps.append({
+            "analyzer": analyzer,
+            "argv": argv,
+            "exit": code,
+            "wall_s": round(_wall() - start, 2),
+            "output": buf.getvalue(),
+        })
+        worst = max(worst, code)
+    findings = collect_findings()
+    return {
+        "mode": "smoke" if smoke else "full",
+        "steps": steps,
+        "findings": findings,
+        "new_findings": sum(
+            1 for f in findings
+            if not f["baselined"] and f["severity"] != "error"
+        ),
+        "ok": worst == 0,
+        "exit": worst,
+    }
+
+
+def format_summary(report: dict) -> str:
+    lines = [f"analyze ({report['mode']}): "
+             f"{len(report['steps'])} step(s) over 5 analyzers"]
+    for step in report["steps"]:
+        verdict = "ok" if step["exit"] == 0 else f"FAIL (exit {step['exit']})"
+        lines.append(f"  {step['analyzer']:<8} {' '.join(step['argv']):<58} "
+                     f"{verdict}  [{step['wall_s']}s]")
+        if step["exit"] != 0:
+            for out_line in step["output"].splitlines():
+                lines.append(f"      {out_line}")
+    lines.append(
+        f"merged findings: {len(report['findings'])} "
+        f"({report['new_findings']} unbaselined warning(s))"
+    )
+    lines.append("analyze: OK" if report["ok"] else "analyze: FAIL")
+    return "\n".join(lines)

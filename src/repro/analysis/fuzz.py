@@ -195,8 +195,14 @@ def run_instrumented(
     detect: bool = True,
     arm_plan: Callable | None = None,
     max_findings: int = 200,
+    ndlog: Any = None,
 ) -> ProbeResult:
-    """One replicated run with tracer (+ detector, + optional fault plan)."""
+    """One replicated run with tracer (+ detector, + optional fault plan).
+
+    *ndlog* optionally attaches an :class:`~repro.sim.ndlog.NDLog` (record
+    or replay mode) over the world's RNG streams and tie-break policy —
+    the record→replay oracle in :mod:`repro.analysis.ndreplay` rides this.
+    """
     from repro.experiments.common import build_deployment
     from repro.net import World
     from repro.sim.trace import install_tracer
@@ -206,6 +212,10 @@ def run_instrumented(
     world = World(seed=seed)
     if tiebreak is not None:
         world.engine.set_tiebreak(tiebreak)
+    if ndlog is not None:
+        from repro.sim.ndlog import attach_ndlog
+
+        attach_ndlog(world, ndlog)
     tracer = install_tracer(world.engine)
     detector = install_detector(world.engine, max_findings) if detect else None
 
@@ -228,6 +238,13 @@ def run_instrumented(
 
         world.engine.process(launch())
     world.run(until=ms(run_ms))
+    if ndlog is not None:
+        from repro.sim.ndlog import detach_ndlog
+
+        # Detach the moment the measured window closes: GC-finalized
+        # generators schedule events at arbitrary later points, and those
+        # draws must not land in (or be demanded from) the log.
+        detach_ndlog(world)
     deployment.stop()
     if plan is not None:
         plan.disarm()

@@ -435,6 +435,10 @@ TRACKED_STATE: dict[str, tuple[str, ...]] = {
         "committed_epoch",
         "epoch_stash",
         "open_checkpoint",
+        # Dispatch-maintained per-epoch mirrored-write counter, popped by
+        # the commit path (the incremental replacement for rescanning the
+        # drbd buffers).
+        "epoch_disk_writes",
     ),
     # Heartbeat arrivals vs the detector's windowed miss check.
     "replication/heartbeat.py": ("heartbeat_window",),

@@ -553,6 +553,97 @@ def _cmd_perf(args) -> int:
     )
 
 
+def _cmd_ndflow(args) -> int:
+    """Nondeterminism-provenance analyzer: NDF lint / NDLog record / replay."""
+    import json
+
+    from repro.analysis.ndflow import analyze_ndflow, ndflow_selfcheck
+    from repro.analysis.report import render_json, render_text
+
+    render = render_json if args.json else render_text
+
+    if args.action == "selfcheck":
+        problems, dispositions = ndflow_selfcheck()
+        width = max(len(name) for name in dispositions) if dispositions else 0
+        for name in sorted(dispositions):
+            print(f"  {name:<{width}}  {dispositions[name]}")
+        if problems:
+            print("ndflow self-check FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"ndflow self-check: {len(dispositions)} nondeterminism "
+              f"source(s) accounted for.")
+        return 0
+
+    if args.action in ("record", "replay"):
+        from repro.analysis.ndreplay import (
+            DEFAULT_SEEDS,
+            DEFAULT_WORKLOADS,
+            format_report,
+            run_oracle,
+            run_record,
+        )
+
+        if args.smoke:
+            workloads, seeds = ("net",), (1, 2)
+        else:
+            workloads = tuple(args.workload) if args.workload else DEFAULT_WORKLOADS
+            seeds = tuple(args.seeds) if args.seeds else DEFAULT_SEEDS
+        if args.action == "record":
+            report = run_record(workloads, seeds, run_ms=args.run_ms)
+        else:
+            report = run_oracle(workloads, seeds, run_ms=args.run_ms,
+                                knob=args.knob)
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
+        # With --knob the polarity is already folded into ok: every cell
+        # must have DIVERGED (the oracle proved it catches the regression).
+        return 0 if report["ok"] else 1
+
+    # action == "lint" — the selfcheck gates it: an unaccounted source
+    # would silently shrink the audited surface.
+    problems, _ = ndflow_selfcheck()
+    if problems:
+        print("ndflow self-check FAILED (run `repro ndflow selfcheck`):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    try:
+        report = analyze_ndflow(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        print(f"repro ndflow: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.inventory:
+        for src in report.inventory.sources:
+            print(f"  {src.nd_class or 'UNACCOUNTED':<11} {src.label}")
+    if args.baseline is None:
+        print(render(report.findings))
+        return 1 if any(f.severity == "error" for f in report.findings) else 0
+    return _baseline_gate(
+        report.findings, args.baseline, args.update_baseline, render,
+        "repro ndflow",
+    )
+
+
+def _cmd_analyze(args) -> int:
+    """All five analyzer passes as one gate (see ``make analyze``)."""
+    import json
+
+    from repro.analysis.aggregate import format_summary, run_all
+
+    report = run_all(smoke=not args.full)
+    print(format_summary(report))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"repro analyze: wrote {args.json_out}")
+    return report["exit"]
+
+
 def _cmd_races(args) -> int:
     """Happens-before race detection / tie-break schedule fuzzing."""
     import json
@@ -925,6 +1016,52 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--json", action="store_true",
                       help="emit machine-readable JSON")
 
+    ndflow = sub.add_parser(
+        "ndflow",
+        help="nondeterminism-provenance analyzer: NDF taint rules, NDLog "
+             "record mode, record->replay differential oracle",
+    )
+    ndflow.add_argument("action", nargs="?", default="lint",
+                        choices=("lint", "record", "replay", "selfcheck"))
+    ndflow.add_argument("--select", action="append", default=None,
+                        metavar="RULE",
+                        help="emit only these NDF rule IDs (repeatable)")
+    ndflow.add_argument("--ignore", action="append", default=None,
+                        metavar="RULE",
+                        help="skip these NDF rule IDs (repeatable)")
+    ndflow.add_argument("--baseline", metavar="FILE", default=None,
+                        help="known-finding baseline (see ndflow-baseline.json)")
+    ndflow.add_argument("--update-baseline", action="store_true",
+                        help="rewrite --baseline FILE from current warnings")
+    ndflow.add_argument("--inventory", action="store_true",
+                        help="lint: also print the classified nondeterminism"
+                             "-source inventory")
+    ndflow.add_argument("--workload", action="append", default=None,
+                        help="record/replay: catalog workload(s) (repeatable; "
+                             "default: net, disk-rw)")
+    ndflow.add_argument("--seeds", type=int, nargs="+", default=None,
+                        help="record/replay: seeds (default: 1 2)")
+    ndflow.add_argument("--run-ms", type=int, default=600,
+                        help="record/replay: simulated run length per cell")
+    ndflow.add_argument("--knob", choices=("unsafe-unlogged-draw",),
+                        default=None,
+                        help="replay: re-enable an unlogged draw; exit 0 iff "
+                             "every cell diverges")
+    ndflow.add_argument("--smoke", action="store_true",
+                        help="reduced CI matrix: net workload, seeds 1 2")
+    ndflow.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run all five analyzer passes (nlint, races, ckptcov, perf, "
+             "ndflow) as one gate",
+    )
+    analyze.add_argument("--full", action="store_true",
+                         help="full-depth passes (default: CI smoke variants)")
+    analyze.add_argument("--json-out", default=None, metavar="FILE",
+                         help="also write the merged findings report here")
+
     races = sub.add_parser(
         "races",
         help="happens-before race detection and tie-break schedule fuzzing",
@@ -1026,6 +1163,8 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "ckptcov": _cmd_ckptcov,
     "perf": _cmd_perf,
+    "ndflow": _cmd_ndflow,
+    "analyze": _cmd_analyze,
     "races": _cmd_races,
     "audit": _cmd_audit,
     "faultcampaign": _cmd_faultcampaign,

@@ -39,7 +39,12 @@ class PlacementDecision:
 
 
 def _stable_rng(seed: int, member: str, role: str) -> random.Random:
-    return random.Random(zlib.crc32(f"{seed}:{member}:{role}".encode()))
+    # Deliberately not a World stream: placement runs before any World
+    # exists (fleet bootstrap) and must give the same answer for the same
+    # (seed, member, role) regardless of draw order elsewhere.
+    return random.Random(  # nd: seed -- crc32(seed:member:role)-seeded
+        zlib.crc32(f"{seed}:{member}:{role}".encode())
+    )
 
 
 def pick_host(
@@ -76,7 +81,7 @@ def pick_host(
             )
         return min(feasible, key=lambda h: (pool.load(h.name), order[h.name]))
     rng = _stable_rng(seed, member, role)
-    return feasible[rng.randrange(len(feasible))]
+    return feasible[rng.randrange(len(feasible))]  # nd: seed -- _stable_rng
 
 
 def place(

@@ -100,6 +100,10 @@ class BackupAgent:
         #: Accumulated fs-cache checkpoint: keyed for overwrite semantics.
         self._fs_inodes: dict[str, dict] = {}
         self._fs_pages: dict[tuple[str, int], bytes] = {}
+        #: epoch -> mirrored disk writes received (all disks), maintained
+        #: at dispatch so commit never rescans the drbd buffers.  Popped on
+        #: commit; cleared with the buffers on recovery discard.
+        self._epoch_disk_writes: dict[int, int] = {}
 
         #: First epoch this agent expects (continues an adopted container's
         #: numbering after a re-pair; 0 for a fresh deployment).  The
@@ -181,8 +185,14 @@ class BackupAgent:
             if kind == "heartbeat":
                 self.detector.on_heartbeat()
             elif kind == "disk_write":
+                epoch = message["epoch"]
+                record_access(self.engine, self, "epoch_disk_writes", "w",
+                              key=epoch, site="backup.disk_write_count")
+                self._epoch_disk_writes[epoch] = (  # nlint: disable=RACE001 -- tracked via record_access as "epoch_disk_writes"
+                    self._epoch_disk_writes.get(epoch, 0) + 1
+                )
                 self.drbd[message["disk"]].on_disk_write(
-                    message["epoch"], message["block"], message["data"]
+                    epoch, message["block"], message["data"]
                 )
             elif kind == "disk_barrier":
                 self.drbd[message["disk"]].on_barrier(message["epoch"], message["writes"])
@@ -309,7 +319,12 @@ class BackupAgent:
         if store_cost:
             yield self._charge(store_cost)
 
-        disk_writes = sum(drbd.pending_write_count(epoch) for drbd in self.drbd)
+        # Every barrier-declared write has arrived (the commit loop waited
+        # on epoch_complete), so the dispatch-time counter equals what a
+        # rescan of every drbd buffer would find.
+        record_access(self.engine, self, "epoch_disk_writes", "w",
+                      key=epoch, site="backup.disk_write_commit")
+        disk_writes = self._epoch_disk_writes.pop(epoch, 0)
         if disk_writes:
             yield self._charge(
                 disk_writes * self.kernel.costs.backup_disk_commit_per_block
@@ -401,6 +416,11 @@ class BackupAgent:
         # externally visible: their output was still buffered on the primary).
         for drbd in self.drbd:
             drbd.discard_uncommitted()
+        # Committed epochs were popped at commit; whatever remains counts
+        # the uncommitted buffers just discarded.
+        record_access(self.engine, self, "epoch_disk_writes", "w",
+                      site="backup.disk_write_discard")
+        self._epoch_disk_writes.clear()
 
         stall = fault_point(
             self.engine, "backup.mid_recover", epoch=self.committed_epoch

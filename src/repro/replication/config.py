@@ -86,6 +86,15 @@ class NiliconConfig:
     #: hot, and so BENCH_engine.json can record the cache's before/after;
     #: never enable outside tests and benches.
     perf_unoptimized_digest: bool = False
+    #: REGRESSION KNOB — one RNG consumer bypassing the NDLog: the primary
+    #: perturbs its checkpoint timing with a draw from an unseeded,
+    #: unlogged module-level generator (``replication/primary.py``).  The
+    #: ndflow analyzer must flag the site statically (NDF001/NDF003,
+    #: frozen in ``ndflow-baseline.json``) and the record→replay oracle
+    #: must independently report a replay divergence — the same
+    #: two-witness pattern the races/perf knobs use.  Never enable outside
+    #: tests.
+    unsafe_unlogged_draw: bool = False
     #: REGRESSION KNOB — revert the barrier-release fix: an ack pops the
     #: *oldest* egress barrier regardless of which epoch was acknowledged,
     #: so a duplicated or reordered ack releases a later epoch's output

@@ -23,6 +23,7 @@ overheads (Fig. 3, Table I) emerge from the cost model.
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.criu.checkpoint import CheckpointEngine
@@ -43,6 +44,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.container.runtime import Container
 
 __all__ = ["PrimaryAgent"]
+
+# REGRESSION GENERATOR for NiliconConfig.unsafe_unlogged_draw: unseeded
+# (OS entropy) and invisible to both the RngRegistry and the NDLog, so a
+# record-mode run and its replay draw different values — exactly the bug
+# class the ndflow analyzer exists to catch.
+_UNLOGGED_RNG = random.Random()  # nd: unsafe -- unlogged-draw knob generator
 
 
 class PrimaryAgent:
@@ -182,6 +189,14 @@ class PrimaryAgent:
     def _checkpoint_cycle(self, incremental: bool) -> Generator[Any, Any, None]:
         costs = self.kernel.costs
         epoch = self.epoch
+        if self.config.unsafe_unlogged_draw:
+            # Unlogged entropy stretching the epoch by up to 20 ms —
+            # comparable to the epoch length itself, so record and replay
+            # runs (each drawing fresh OS entropy) almost surely order
+            # events differently: the oracle must report a divergence.
+            yield self.engine.timeout(
+                1 + int(_UNLOGGED_RNG.random() * 20_000)  # nd: unsafe -- knob
+            )
         stop_start = self.engine.now
 
         freeze_us = yield from self.container.freeze(poll=self.config.criu.freeze_poll)

@@ -155,7 +155,7 @@ class PageDigestCache:
                 pages = process.mm.pages
                 resident += len(pages)
                 for idx in sorted(pages):  # nlint: disable=PERF003 -- digests walk pages in address order by contract
-                    crc_cache[(pid, idx)] = zlib.crc32(pages[idx])
+                    crc_cache[(pid, idx)] = zlib.crc32(pages[idx])  # nlint: disable=PERF002 -- the 'unoptimized' regression knob IS the re-hash-everything baseline the profiler must still observe
                     self.pages_digested += 1
                     self.bytes_hashed += PAGE_SIZE
         else:

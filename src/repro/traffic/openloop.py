@@ -120,7 +120,10 @@ class OpenLoopTraffic:
         self.proxy_port = proxy_port
         self.profile = profile
         self.stats = OpenLoopStats()
-        self.rng = world.rng.stream(rng_name or f"traffic.{profile.name}")
+        self.rng = world.rng.stream(
+            # nd: logged -- caller-chosen name; a registry stream either way
+            rng_name or f"traffic.{profile.name}"
+        )
         self._stacks: list[TcpStack] = []
 
     def start(self) -> None:

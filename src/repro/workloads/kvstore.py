@@ -208,7 +208,10 @@ class KvRequestFactory:
     def __init__(self, server: KvServer, world: "World", batch_size: int) -> None:
         self.server = server
         self.batch_size = batch_size
-        self.rng = world.rng.stream(f"kv-client-{server.name}")
+        self.rng = world.rng.stream(
+            f"kv-client-{server.name}",  # nd: logged -- one stream per server
+            owner="repro.workloads.kvstore",
+        )
         self.shadow: dict[int, str] = {
             key: server._initial_value(key).decode() for key in range(server.n_keys)
         }

@@ -78,7 +78,10 @@ class DiskRwWorkload(Workload):
     def _loop(self, world: "World", container: "Container"):
         process = container.processes[0]
         fs = container.mounted_filesystems()[0]
-        rng = world.rng.stream(self.seed_stream)
+        rng = world.rng.stream(
+            self.seed_stream,  # nd: logged -- name pinned by the workload spec
+            owner="repro.workloads.microbench",
+        )
         flush_tick = 0
         while not container.dead:
             region = rng.randrange(self.n_regions)
@@ -170,7 +173,10 @@ class EchoServer(ServerWorkload):
         n_requests_per_client: int | None = None,
         gap_us: int = 0,
     ) -> ClosedLoopClients:
-        rng = world.rng.stream(f"{self.name}-client")
+        rng = world.rng.stream(
+            f"{self.name}-client",  # nd: logged -- one stream per workload
+            owner="repro.workloads.microbench",
+        )
 
         def make_request(i: int) -> tuple[bytes, Callable[[bytes], str | None], int]:
             if self.min_len == self.max_len:

@@ -10,7 +10,6 @@ downgrades pool findings whose counters stayed cold.
 """
 
 from repro.analysis.linter import Finding
-from repro.analysis.perf import analyze_perf
 from repro.analysis.perfbench import (
     HOT_THRESHOLD,
     _bench_pool_index,
@@ -52,21 +51,23 @@ def test_profiled_counters_cover_every_subsystem():
     assert c.get("pagestore.pages_stored", 0) > 0
 
 
-def _statecache_findings():
-    report = analyze_perf(select=["PERF002"])
-    return [
-        f for f in report.findings
-        if f.path.endswith("replication/statecache.py")
-    ]
-
-
 def test_unoptimized_digest_knob_is_confirmed_hot():
-    findings = _statecache_findings()
-    assert findings, "the PERF002 regression probe disappeared"
+    # The statecache PERF002 debt is paid (the real tree lints clean), so
+    # the L2<->L3 contract is pinned with a synthetic finding at the same
+    # site: under the knob, the profiler's digest counters must confirm a
+    # statecache finding as hot.
+    finding = Finding(
+        rule_id="PERF002",
+        path="src/repro/replication/statecache.py",
+        line=1,
+        col=0,
+        message="synthetic",
+        severity="warning",
+    )
     config = NiliconConfig.nilicon().with_(perf_unoptimized_digest=True)
     run = run_profiled_deployment("lighttpd", run_ms=400, seed=1,
                                   config=config)
-    entries = crossref(findings, run.counters)
+    entries = crossref([finding], run.counters)
     assert all(e["status"] == "confirmed-hot" for e in entries)
     assert all(e["observed"] >= HOT_THRESHOLD for e in entries)
     assert all("digest.pages_digested" in e["evidence"] for e in entries)
