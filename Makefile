@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench ndflow ndflow-smoke analyze golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench ndflow ndflow-smoke ftcov ftcov-smoke analyze golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -88,8 +88,26 @@ ndflow-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro ndflow replay --smoke
 	PYTHONPATH=src $(PYTHON) -m repro ndflow replay --smoke --knob unsafe-unlogged-draw > /dev/null
 
-# All five analyzer passes (nlint, races, ckptcov, perf, ndflow) as one
-# gate with a merged findings artifact; this is what CI runs.
+# Recovery-path coverage analyzer: failure-surface inventory self-check,
+# FTC lint against the frozen baseline, the full-catalog coverage
+# recorder (every fault point / state edge / handler crossed against the
+# static inventory), and the drop-scenario knob polarity probe.
+ftcov:
+	PYTHONPATH=src $(PYTHON) -m repro ftcov selfcheck
+	PYTHONPATH=src $(PYTHON) -m repro ftcov lint --baseline ftcov-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro ftcov record --json-out coverage-matrix.json
+	PYTHONPATH=src $(PYTHON) -m repro ftcov record --knob drop-scenario > /dev/null
+
+# CI subset: the catalogs are already the minimal sufficient set (every
+# registered point has exactly one arming scenario), so smoke only drops
+# the knob re-run's report noise.
+ftcov-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro ftcov lint --baseline ftcov-baseline.json
+	PYTHONPATH=src $(PYTHON) -m repro ftcov record --json-out coverage-matrix.json
+	PYTHONPATH=src $(PYTHON) -m repro ftcov record --knob drop-scenario > /dev/null
+
+# All six analyzer passes (nlint, races, ckptcov, perf, ndflow, ftcov) as
+# one gate with a merged findings artifact; this is what CI runs.
 analyze:
 	PYTHONPATH=src $(PYTHON) -m repro analyze --json-out analyze-report.json
 

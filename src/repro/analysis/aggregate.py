@@ -1,13 +1,14 @@
 """Consolidated analyzer gate (``repro analyze`` / ``make analyze``).
 
-Runs all five analyzer families — nlint (DET/CKPT/RACE/ORD), races
+Runs all six analyzer families — nlint (DET/CKPT/RACE/ORD), races
 (happens-before + schedule fuzz), ckptcov (CKPT1xx + differential
-oracle), perf (PERF + profiler + bench gate), and ndflow (NDF +
-record→replay oracle) — through their real CLI entry points, so each
-step keeps its exact gate semantics (baselines, knob polarity,
-selfchecks).  The aggregate exit code is the max over steps, and the
-merged findings artifact re-runs the four static passes once more to
-tag every finding with its analyzer and baseline disposition.
+oracle), perf (PERF + profiler + bench gate), ndflow (NDF +
+record→replay oracle), and ftcov (FTC + catalog coverage crossref) —
+through their real CLI entry points, so each step keeps its exact gate
+semantics (baselines, knob polarity, selfchecks).  The aggregate exit
+code is the max over steps, and the merged findings artifact re-runs
+the five static passes once more to tag every finding with its
+analyzer and baseline disposition.
 """
 
 from __future__ import annotations
@@ -52,6 +53,12 @@ STEPS: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
     ("ndflow",
      ("ndflow", "replay", "--smoke", "--knob", "unsafe-unlogged-draw"),
      ("ndflow", "replay", "--knob", "unsafe-unlogged-draw")),
+    ("ftcov", ("ftcov", "selfcheck"), ("ftcov", "selfcheck")),
+    ("ftcov", ("ftcov", "lint", "--baseline", "ftcov-baseline.json"),
+     ("ftcov", "lint", "--baseline", "ftcov-baseline.json")),
+    ("ftcov", ("ftcov", "record"), ("ftcov", "record")),
+    ("ftcov", ("ftcov", "record", "--knob", "drop-scenario"),
+     ("ftcov", "record", "--knob", "drop-scenario")),
 )
 
 #: Static pass -> (finding producer, baseline file or None).
@@ -60,6 +67,7 @@ _BASELINES = {
     "ckptcov": "ckptcov-baseline.json",
     "perf": "perf-baseline.json",
     "ndflow": "ndflow-baseline.json",
+    "ftcov": "ftcov-baseline.json",
 }
 
 
@@ -80,11 +88,15 @@ def _static_findings(analyzer: str):
         from repro.analysis.ndflow import analyze_ndflow
 
         return analyze_ndflow().findings
+    if analyzer == "ftcov":
+        from repro.analysis.ftcov import analyze_ftcov
+
+        return analyze_ftcov().findings
     raise KeyError(analyzer)
 
 
 def collect_findings() -> list[dict]:
-    """One merged record per static finding across all four lint passes,
+    """One merged record per static finding across all five lint passes,
     tagged with its analyzer and whether the checked-in baseline already
     accounts for it (the dynamic passes gate via their step exit codes)."""
     from repro.analysis.baseline import apply_baseline, load_baseline
@@ -157,7 +169,7 @@ def run_all(smoke: bool = True) -> dict:
 
 def format_summary(report: dict) -> str:
     lines = [f"analyze ({report['mode']}): "
-             f"{len(report['steps'])} step(s) over 5 analyzers"]
+             f"{len(report['steps'])} step(s) over 6 analyzers"]
     for step in report["steps"]:
         verdict = "ok" if step["exit"] == 0 else f"FAIL (exit {step['exit']})"
         lines.append(f"  {step['analyzer']:<8} {' '.join(step['argv']):<58} "

@@ -628,8 +628,78 @@ def _cmd_ndflow(args) -> int:
     )
 
 
+def _cmd_ftcov(args) -> int:
+    """Recovery-path coverage analyzer: FTC lint / catalog coverage record."""
+    import json
+
+    from repro.analysis.ftcov import analyze_ftcov, ftcov_selfcheck
+    from repro.analysis.report import render_json, render_text
+
+    render = render_json if args.json else render_text
+
+    if args.action == "selfcheck":
+        problems, dispositions = ftcov_selfcheck()
+        width = max(len(name) for name in dispositions) if dispositions else 0
+        for name in sorted(dispositions):
+            print(f"  {name:<{width}}  {dispositions[name]}")
+        if problems:
+            print("ftcov self-check FAILED:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 1
+        print(f"ftcov self-check: {len(dispositions)} failure-surface "
+              f"site(s) accounted for.")
+        return 0
+
+    if args.action in ("record", "report"):
+        from repro.analysis.ftreplay import format_report, run_ftcov_record
+
+        try:
+            report = run_ftcov_record(knob=args.knob)
+        except KeyError as exc:
+            print(f"repro ftcov: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_report(report))
+        if args.json_out:
+            with open(args.json_out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"repro ftcov: wrote {args.json_out}")
+        # With --knob the polarity is already folded into ok: the seeded
+        # coverage gap must have been DETECTED.
+        return 0 if report["ok"] else 1
+
+    # action == "lint" — the selfcheck gates it: an unaccounted site
+    # would silently shrink the audited failure surface.
+    problems, _ = ftcov_selfcheck()
+    if problems:
+        print("ftcov self-check FAILED (run `repro ftcov selfcheck`):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    try:
+        report = analyze_ftcov(select=args.select, ignore=args.ignore)
+    except KeyError as exc:
+        print(f"repro ftcov: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.inventory:
+        for site in report.inventory.sites:
+            print(f"  {site.ft_class or 'UNACCOUNTED':<11} "
+                  f"{site.path}:{site.line}  {site.label}")
+    if args.baseline is None:
+        print(render(report.findings))
+        return 1 if any(f.severity == "error" for f in report.findings) else 0
+    return _baseline_gate(
+        report.findings, args.baseline, args.update_baseline, render,
+        "repro ftcov",
+    )
+
+
 def _cmd_analyze(args) -> int:
-    """All five analyzer passes as one gate (see ``make analyze``)."""
+    """All six analyzer passes as one gate (see ``make analyze``)."""
     import json
 
     from repro.analysis.aggregate import format_summary, run_all
@@ -1052,10 +1122,39 @@ def build_parser() -> argparse.ArgumentParser:
     ndflow.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
 
+    ftcov = sub.add_parser(
+        "ftcov",
+        help="recovery-path coverage analyzer: FTC lint rules plus a "
+             "catalog coverage recorder crossed against the static "
+             "failure-surface inventory",
+    )
+    ftcov.add_argument("action", nargs="?", default="lint",
+                       choices=("lint", "record", "report", "selfcheck"))
+    ftcov.add_argument("--select", action="append", default=None,
+                       metavar="RULE",
+                       help="emit only these FTC rule IDs (repeatable)")
+    ftcov.add_argument("--ignore", action="append", default=None,
+                       metavar="RULE",
+                       help="skip these FTC rule IDs (repeatable)")
+    ftcov.add_argument("--baseline", metavar="FILE", default=None,
+                       help="known-finding baseline (see ftcov-baseline.json)")
+    ftcov.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline FILE from current warnings")
+    ftcov.add_argument("--inventory", action="store_true",
+                       help="lint: also print the classified failure-surface "
+                            "inventory")
+    ftcov.add_argument("--knob", choices=("drop-scenario",), default=None,
+                       help="record: drop UNSAFE_DROP_SCENARIO from the "
+                            "catalog; exit 0 iff the coverage gap is caught")
+    ftcov.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    ftcov.add_argument("--json-out", default=None, metavar="FILE",
+                       help="record: also write the coverage matrix here")
+
     analyze = sub.add_parser(
         "analyze",
-        help="run all five analyzer passes (nlint, races, ckptcov, perf, "
-             "ndflow) as one gate",
+        help="run all six analyzer passes (nlint, races, ckptcov, perf, "
+             "ndflow, ftcov) as one gate",
     )
     analyze.add_argument("--full", action="store_true",
                          help="full-depth passes (default: CI smoke variants)")
@@ -1164,6 +1263,7 @@ _COMMANDS = {
     "ckptcov": _cmd_ckptcov,
     "perf": _cmd_perf,
     "ndflow": _cmd_ndflow,
+    "ftcov": _cmd_ftcov,
     "analyze": _cmd_analyze,
     "races": _cmd_races,
     "audit": _cmd_audit,

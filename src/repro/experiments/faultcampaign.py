@@ -84,11 +84,18 @@ def run_phase_injection(
     seed: int,
     config: NiliconConfig | None = None,
     run_us: int = _RUN_US,
+    instrument=None,
 ) -> PhaseCellResult:
-    """Run one campaign cell and evaluate every oracle."""
+    """Run one campaign cell and evaluate every oracle.
+
+    *instrument* (if given) is called with the freshly built World before
+    anything runs — the ftcov coverage recorder installs itself here.
+    """
     if isinstance(scenario, str):
         scenario = SCENARIOS[scenario]
     world = World(seed=seed)
+    if instrument is not None:
+        instrument(world)
     workload = make_workload(workload_name)
     if not isinstance(workload, ServerWorkload):
         raise ValueError(

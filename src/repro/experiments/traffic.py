@@ -145,10 +145,13 @@ def _run_scenario_once(
     *,
     tail_us: int,
     trace_limit: int,
+    instrument=None,
 ) -> dict[str, Any]:
     """One profile in a fresh world; returns the flat result record."""
     reset_id_counters()
     world = World(seed=seed)
+    if instrument is not None:
+        instrument(world)
     tracer = install_tracer(world.engine, limit=trace_limit)
     pool = HostPool(world, fleet.n_hosts, slots_per_host=fleet.slots_per_host)
     controller = FleetController(
@@ -279,6 +282,24 @@ def _run_scenario_once(
         "proxy": proxy.to_dict(),
         "violations": violations,
     }
+
+
+def run_traffic_event(
+    event: str, seed: int = 1, instrument=None
+) -> dict[str, Any]:
+    """Run the one smoke profile carrying *event* ("failover" or
+    "migration") once — the ftcov coverage runner drives the traffic
+    tier's fault/maintenance paths through this without paying for the
+    full determinism campaign."""
+    matches = [
+        s for s in traffic_profiles(smoke=True) if s.event == event
+    ]
+    if not matches:
+        raise KeyError(f"no smoke traffic profile carries event {event!r}")
+    return _run_scenario_once(
+        seed, SMOKE_FLEET, matches[0], tail_us=sec(2),
+        trace_limit=2_000_000, instrument=instrument,
+    )
 
 
 def run_traffic_campaign(seed: int = 1, smoke: bool = False) -> dict[str, Any]:

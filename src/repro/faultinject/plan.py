@@ -187,6 +187,9 @@ class FaultPlan:
             if rule.hits != rule.at_hit:
                 continue
             rule.fired = True
+            rec = getattr(engine, "_ftcov", None) if engine else None
+            if rec is not None:
+                rec.record("fired", name)
             self.log.append(
                 f"t={engine.now if engine else '?'} point {name} {detail} -> "
                 f"stall={rule.stall_us} kill={rule.kill} "

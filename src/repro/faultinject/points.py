@@ -81,6 +81,12 @@ FLEET_FAULT_POINTS: dict[str, str] = {
         "Planned rebalancing is about to quiesce replication and move a "
         "member's primary container to another host."
     ),
+    "fleet.post_reserve": (
+        "Migration destination slot reserved (primary-next) but cutover "
+        "has not begun; replication still runs on the old pairing.  A "
+        "destination failure here must abort the migration cleanly and "
+        "release the reservation."
+    ),
 }
 
 FAULT_POINTS.update(FLEET_FAULT_POINTS)
@@ -102,7 +108,7 @@ def hooked_points(root: str | Path) -> set[str]:
             continue
         try:
             tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        except SyntaxError:
+        except SyntaxError:  # ft: defensive -- tooling scan; an unparseable file holds no hook sites
             continue
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):

@@ -47,14 +47,16 @@ from repro.replication.config import NiliconConfig
 from repro.replication.manager import ReplicatedDeployment
 from repro.sim.access import record_access
 from repro.sim.engine import Interrupt, Process
-from repro.sim.faults import fault_point
+from repro.sim.faults import coverage_mark, fault_point
 from repro.sim.trace import trace
 from repro.sim.units import ms
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.placement import PlacementDecision
 
-__all__ = ["FleetController", "FleetMember", "MEMBER_STATES"]
+__all__ = [
+    "FleetController", "FleetMember", "MEMBER_EDGES", "MEMBER_STATES",
+]
 
 MEMBER_STATES = (
     "deploying",
@@ -66,6 +68,35 @@ MEMBER_STATES = (
     "degraded",
     "migrating",
     "dead",
+)
+
+#: The declared transition relation of the member state machine — the
+#: contract the ftcov analyzer holds the scenario catalogs to.  Every
+#: ``_set_state`` target must be the destination of a declared edge, and
+#: every non-``backlog`` edge must be claimed (and dynamically driven) by
+#: at least one fleet scenario.  ``deploying`` is the dataclass-initial
+#: state and deliberately has no incoming edge: a member is constructed
+#: deploying exactly once and never re-enters it.
+MEMBER_EDGES = (
+    ("deploying", "protected"),
+    ("protected", "reprotect_pending"),
+    ("reprotect_pending", "reprotecting"),
+    ("reprotecting", "protected"),
+    ("protected", "repair_pending"),
+    ("repair_pending", "repairing"),
+    ("repairing", "protected"),
+    ("repair_pending", "degraded"),
+    ("degraded", "repairing"),
+    ("protected", "migrating"),
+    ("migrating", "repair_pending"),
+    ("protected", "dead"),
+    ("reprotect_pending", "degraded"),  # ft: backlog -- scenario: fleet.failover_into_exhausted_pool
+    ("degraded", "reprotecting"),  # ft: backlog -- scenario: fleet.failover_into_exhausted_pool
+    ("reprotect_pending", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_before_reprotect
+    ("reprotecting", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_mid_reprotect
+    ("repair_pending", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_before_repair
+    ("repairing", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_mid_repair
+    ("degraded", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_while_degraded
 )
 
 
@@ -235,11 +266,20 @@ class FleetController:
 
     def _set_state(self, member: FleetMember, state: str) -> None:
         assert state in MEMBER_STATES, state
+        if member.state == state:
+            # Idempotent re-entry: a restarted control loop resuming a
+            # half-done reprotect/repair lands on the state it already
+            # holds.  Not a transition — no trace event, no listener
+            # notification, no self-edge in the coverage matrix.
+            return
         # Member state is written by the control loop *and* by migration
         # processes; the access record makes any unsynchronized overlap a
         # race-detector finding instead of a silent corruption.
         record_access(self.engine, self, "member_state", "w", key=member.name,
                       site="fleet.set_state")
+        rec = getattr(self.engine, "_ftcov", None)
+        if rec is not None:
+            rec.record("edge", f"{member.state}->{state}")
         member.state = state
         trace(self.engine, "fleet", "member_state", member=member.name,
               state=state)
@@ -251,7 +291,7 @@ class FleetController:
     # ------------------------------------------------------------------ #
     def _control_loop(self) -> Generator[Any, Any, None]:
         try:
-            while not self._stopped:
+            while not self._stopped:  # ft: bounded -- stop() flips _stopped; each pass sleeps one scan interval
                 yield self.engine.timeout(self.scan_interval_us)
                 if self._stopped:
                     return
@@ -261,12 +301,13 @@ class FleetController:
             # Killed (fault injection: the controller host crashed).  All
             # decisions live in member intents; the supervisor restarts us
             # and converge resumes idempotently.
+            coverage_mark(self.engine, "handler", "fleet.control_interrupt")
             return
 
     def _supervise(self) -> Generator[Any, Any, None]:
         """Restart the control loop if it dies — the controller itself is
         fail-stop, and the fleet must survive its failures too."""
-        while not self._stopped:
+        while not self._stopped:  # ft: bounded -- stop() flips _stopped; each pass sleeps two scan intervals
             yield self.engine.timeout(self.scan_interval_us * 2)
             if self._stopped:
                 return
@@ -511,6 +552,7 @@ class FleetController:
         here get that backup agent and its detector silenced: a dead host
         must never "detect" its primary and restore a second copy.
         """
+        coverage_mark(self.engine, "inject", "fleet.host_failstop")
         host.fail_stop()
         for name in sorted(self.members):
             member = self.members[name]
@@ -563,6 +605,12 @@ class FleetController:
         # Reserve the destination slot up front (the source slot stays
         # held until cutover succeeds, so an abort can roll straight back).
         self.pool.allocate(name, "primary-next", dest)
+        # The window after the reservation commits but before cutover is
+        # where a destination failure must abort cleanly: slot reserved,
+        # replication still on the old pairing.
+        stall = fault_point(engine, "fleet.post_reserve", member=name)
+        if stall:
+            yield engine.timeout(stall)
 
         # 1. Quiesce the epoch loop; the container keeps serving.
         yield from old.primary_agent.quiesce()

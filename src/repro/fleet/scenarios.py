@@ -48,6 +48,12 @@ class FleetScenario:
     n_requests: int = 30
     #: Dead members this scenario *expects* (unsurvivable by design).
     expect_dead: tuple[str, ...] = ()
+    #: ``"from->to"`` MEMBER_EDGES transitions this scenario claims to
+    #: drive.  The ftcov analyzer holds the catalog to these claims: every
+    #: non-backlog edge in MEMBER_EDGES must be claimed by some scenario
+    #: (FTC003), and the dynamic coverage run must observe every claimed
+    #: edge actually happen.
+    edges: tuple[str, ...] = ()
 
 
 @dataclass
@@ -73,10 +79,18 @@ def run_fleet_scenario(
     name: str,
     seed: int = 7,
     config: NiliconConfig | None = None,
+    instrument: Callable[[World], None] | None = None,
 ) -> FleetScenarioResult:
-    """Run one fleet scenario end to end and evaluate all its oracles."""
+    """Run one fleet scenario end to end and evaluate all its oracles.
+
+    *instrument* (if given) is called with the freshly built :class:`World`
+    before anything runs — the ftcov coverage recorder installs itself
+    through this hook.
+    """
     scenario = FLEET_SCENARIOS[name]
     world = World(seed=seed)
+    if instrument is not None:
+        instrument(world)
     pool = HostPool(world, scenario.fleet.n_hosts,
                     slots_per_host=scenario.fleet.slots_per_host)
     controller = FleetController(
@@ -174,6 +188,12 @@ _register(FleetScenario(
         world, controller, "svc0", at_us=ms(600)
     ),
     check=_crash_check,
+    edges=(
+        "deploying->protected",
+        "protected->reprotect_pending",
+        "reprotect_pending->reprotecting",
+        "reprotecting->protected",
+    ),
 ))
 
 
@@ -205,6 +225,12 @@ _register(FleetScenario(
         world, controller, "svc0", at_us=ms(600)
     ),
     check=_stall_check,
+    edges=(
+        "deploying->protected",
+        "protected->reprotect_pending",
+        "reprotect_pending->reprotecting",
+        "reprotecting->protected",
+    ),
 ))
 
 
@@ -252,6 +278,13 @@ _register(FleetScenario(
     schedule=_exhausted_schedule,
     check=_exhausted_check,
     run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->repair_pending",
+        "repair_pending->degraded",
+        "degraded->repairing",
+        "repairing->protected",
+    ),
 ))
 
 
@@ -315,6 +348,13 @@ _register(FleetScenario(
     schedule=_migration_cut_schedule,
     check=_migration_cut_check,
     run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->migrating",
+        "migrating->repair_pending",
+        "repair_pending->repairing",
+        "repairing->protected",
+    ),
 ))
 
 
@@ -362,4 +402,210 @@ _register(FleetScenario(
     schedule=_double_schedule,
     check=_double_check,
     run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->reprotect_pending",
+        "reprotect_pending->reprotecting",
+        "reprotecting->protected",
+    ),
+))
+
+
+# --------------------------------------------------------------------- #
+# 6. Replacement backup fail-stops *during* re-protection                #
+# --------------------------------------------------------------------- #
+def _reprotect_backup_killer(world: World, controller: FleetController) -> FaultPlan:
+    def kill_new_backup(engine) -> None:
+        # At fleet.mid_reprotect the replacement's slot is committed in the
+        # persisted intent but the new pairing has not started.
+        member = controller.members["svc0"]
+        backup_name = (member.intent or {}).get("backup")
+        controller.inject_host_failstop(controller.pool.host(backup_name))
+
+    return FaultPlan(points=[
+        PointFault(point="fleet.mid_reprotect", action=kill_new_backup)
+    ])
+
+
+def _backup_failstop_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    svc0 = controller.members["svc0"]
+    return (
+        _expect(svc0.failovers == 1,
+                f"svc0: failovers={svc0.failovers}, expected 1")
+        + _expect(svc0.reprotects >= 2,
+                  f"svc0: reprotects={svc0.reprotects}, expected >= 2 "
+                  f"(dead re-protection generation plus its repair)")
+        + _expect(svc0.backup == "node2",
+                  f"svc0: backup={svc0.backup}, expected node2 (spread "
+                  f"policy after node0 and node4 died)")
+    )
+
+
+_register(FleetScenario(
+    name="fleet.backup_failstop_during_reprotect",
+    description=(
+        "svc0's primary fail-stops; failover restores onto its backup and "
+        "re-protection picks the idle spare — which fail-stops at "
+        "fleet.mid_reprotect, before the new pairing commits anything.  "
+        "The dead-on-arrival generation must neither wedge the container "
+        "(quiesce resolves its receipts) nor spuriously fail over (the "
+        "detector only arms after a first commit); the next scan repairs "
+        "onto a live host and acknowledged output survives throughout."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=5, slots_per_host=2),
+    points=("fleet.mid_reprotect",),
+    # Pinned so node4 is the idle spare the re-protection must pick
+    # (spread: zero load, zero pair count) — the scenario kills exactly
+    # the chosen replacement, not a host with other tenants.
+    decisions=(
+        PlacementDecision("svc0", "node0", "node1"),
+        PlacementDecision("svc1", "node2", "node3"),
+    ),
+    make_plan=_reprotect_backup_killer,
+    schedule=lambda world, controller: _failstop_primary_of(
+        world, controller, "svc0", at_us=ms(600)
+    ),
+    check=_backup_failstop_check,
+    run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->reprotect_pending",
+        "reprotect_pending->reprotecting",
+        "reprotecting->protected",
+        "protected->repair_pending",
+        "repair_pending->repairing",
+        "repairing->protected",
+    ),
+))
+
+
+# --------------------------------------------------------------------- #
+# 7. Migration destination fail-stops after the slot reservation         #
+# --------------------------------------------------------------------- #
+def _dest_failstop_schedule(world: World, controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(600))
+        dest = controller.pool.host("node2")
+        yield from controller.migrate_container(
+            "svc0", dest, abort_timeout_us=ms(300)
+        )
+
+    world.engine.process(timeline(), name="dest-failstop-migrate")
+
+
+def _dest_failstop_plan(world: World, controller: FleetController) -> FaultPlan:
+    def kill_dest(engine) -> None:
+        # The primary-next reservation just committed; the destination dies
+        # before cutover.  This also takes svc1's backup with it.
+        controller.inject_host_failstop(controller.pool.host("node2"))
+
+    return FaultPlan(points=[
+        PointFault(point="fleet.post_reserve", action=kill_dest)
+    ])
+
+
+def _dest_failstop_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    svc0 = controller.members["svc0"]
+    svc1 = controller.members["svc1"]
+    return (
+        _expect(svc0.migration_aborts == 1,
+                f"svc0: expected 1 aborted migration, got {svc0.migration_aborts}")
+        + _expect(svc0.migrations == 0,
+                  "svc0: migration reported success onto a dead host")
+        + _expect(svc0.primary == "node0",
+                  f"svc0: primary moved to {svc0.primary} despite the abort")
+        + _expect(svc0.reprotects >= 1,
+                  "svc0 was not re-protected in place after the abort")
+        + _expect(svc1.reprotects >= 1,
+                  "svc1 (backup on the dead destination) was never repaired")
+    )
+
+
+_register(FleetScenario(
+    name="fleet.dest_failstop_during_migration",
+    description=(
+        "The migration destination host fail-stops at fleet.post_reserve — "
+        "after the primary-next slot reservation commits, before cutover "
+        "begins.  The transfer hangs into the abort timeout, the "
+        "reservation is released, the member rolls back and re-protects "
+        "in place; a bystander member whose backup lived on the dead "
+        "destination is repaired concurrently."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=3, slots_per_host=2),
+    points=("fleet.post_reserve",),
+    # Same pinning as the link-cut scenario: node2 holds only svc1's
+    # backup, so killing it attacks the migration *and* one bystander
+    # replication pair, and the two repairs must share the surviving slots.
+    decisions=(
+        PlacementDecision("svc0", "node0", "node1"),
+        PlacementDecision("svc1", "node1", "node2"),
+    ),
+    make_plan=_dest_failstop_plan,
+    schedule=_dest_failstop_schedule,
+    check=_dest_failstop_check,
+    run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->migrating",
+        "migrating->repair_pending",
+        "repair_pending->repairing",
+        "repairing->protected",
+    ),
+))
+
+
+# --------------------------------------------------------------------- #
+# 8. Both hosts of one pair fail-stop inside a detection window          #
+# --------------------------------------------------------------------- #
+def _both_hosts_schedule(world: World, controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(900))
+        # Same instant: primary and backup die before the detector can
+        # fire.  No copy of svc0 survives — by design, this is the one
+        # failure mode NiLiCon does not mask.
+        controller.inject_host_failstop(controller.pool.host("node0"))
+        controller.inject_host_failstop(controller.pool.host("node1"))
+
+    world.engine.process(timeline(), name="both-hosts-failstop")
+
+
+def _both_hosts_check(controller: FleetController, plan: FaultPlan) -> list[str]:
+    svc0 = controller.members["svc0"]
+    svc1 = controller.members["svc1"]
+    return (
+        _expect(svc0.dead_reason == "both hosts failed",
+                f"svc0: dead_reason={svc0.dead_reason!r}, expected "
+                f"'both hosts failed'")
+        + _expect(svc0.failovers == 0,
+                  "svc0: a failover ran with both hosts dead")
+        + _expect(svc1.failovers == 0 and svc1.reprotects == 0,
+                  "svc1 (untouched) was disturbed by svc0's double failure")
+    )
+
+
+_register(FleetScenario(
+    name="fleet.both_hosts_failstop",
+    description=(
+        "svc0's primary and backup fail-stop in the same instant — inside "
+        "one detection window, so no failover can run.  The controller "
+        "must declare the member dead (releasing its slots) rather than "
+        "wedge, and the unrelated member must be completely undisturbed.  "
+        "Clients finish their requests before the failure, so no "
+        "acknowledged output is lost even in the unsurvivable case."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=4, slots_per_host=2),
+    points=(),
+    decisions=(
+        PlacementDecision("svc0", "node0", "node1"),
+        PlacementDecision("svc1", "node2", "node3"),
+    ),
+    make_plan=lambda world, controller: FaultPlan(),
+    schedule=_both_hosts_schedule,
+    check=_both_hosts_check,
+    n_requests=12,
+    expect_dead=("svc0",),
+    edges=(
+        "deploying->protected",
+        "protected->dead",
+    ),
 ))

@@ -63,7 +63,7 @@ class CounterService:
         while not container.dead:
             try:
                 child = yield listener.accept()
-            except Interrupt:
+            except Interrupt:  # ft: teardown -- accept loop dies with its killed container
                 return
             self.world.engine.process(self._handler(container, child))
 
@@ -74,9 +74,9 @@ class CounterService:
         while not container.dead:
             try:
                 data = yield sock.recv(4096)
-            except Interrupt:
+            except Interrupt:  # ft: teardown -- handler dies with its killed container
                 return
-            except Exception:
+            except Exception:  # ft: defensive -- socket torn down under recv; the client's reconnect path owns recovery
                 return
             if data == b"":
                 return
@@ -94,9 +94,9 @@ class CounterService:
 
                 try:
                     yield from container.run_slice(proc, 200, mutate=mutate)
-                except Interrupt:
+                except Interrupt:  # ft: teardown -- container killed mid-slice; the reply is never sent (output-commit holds)
                     return
-                except Exception:
+                except Exception:  # ft: defensive -- slice on a dying container; client-side oracles account the lost reply
                     return
                 count = int(proc.mm.read(page) or b"0")
                 sock.send(b"PONG" + str(count).zfill(8).encode())

@@ -40,7 +40,7 @@ from repro.replication.heartbeat import FailureDetector
 from repro.replication.statecache import verify_page_digests
 from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
-from repro.sim.faults import fault_point
+from repro.sim.faults import coverage_mark, fault_point
 from repro.sim.resources import Queue
 from repro.sim.trace import trace
 
@@ -179,6 +179,8 @@ class BackupAgent:
             try:
                 delivery = yield self.endpoint.recv()
             except Interrupt:
+                # Recovery/teardown quiesced the dispatcher.
+                coverage_mark(self.engine, "handler", "backup.dispatch_interrupt")
                 return
             message = delivery.message
             kind = message.get("kind")
@@ -242,7 +244,9 @@ class BackupAgent:
                     image, delivery = self._out_of_order.pop(next_epoch)  # nlint: disable=RACE001 -- tracked via record_access as "epoch_stash"
                     committed = yield from self._receive_and_commit(next_epoch, image, delivery)
         except Interrupt:
-            return  # teardown, or recovery quiescing an in-flight commit
+            # Teardown, or recovery quiescing an in-flight commit.
+            coverage_mark(self.engine, "handler", "backup.commit_interrupt")
+            return
 
     def _receive_and_commit(
         self, epoch: int, image: CheckpointImage, delivery: Any

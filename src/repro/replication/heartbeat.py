@@ -48,7 +48,7 @@ class HeartbeatSender:
 
     def _run(self) -> Generator[Any, Any, None]:
         last_usage = self.read_cpuacct()
-        while not self._stopped:
+        while not self._stopped:  # ft: bounded -- stop() flips _stopped; each pass sleeps one heartbeat interval
             yield self.engine.timeout(self.interval_us)
             if self._stopped:
                 return
@@ -115,7 +115,7 @@ class FailureDetector:
 
     def _run(self) -> Generator[Any, Any, None]:
         window_start = self.engine.now
-        while not (self._stopped or self.fired):
+        while not (self._stopped or self.fired):  # ft: bounded -- exits when stopped or the detector fires; each pass sleeps one interval
             yield self.engine.timeout(self.interval_us)
             if self._stopped:
                 return

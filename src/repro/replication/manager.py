@@ -32,6 +32,7 @@ from repro.replication.drbd import BackupDrbd, PrimaryDrbd
 from repro.replication.heartbeat import HeartbeatSender
 from repro.replication.netbuffer import NetworkBuffer
 from repro.replication.primary import PrimaryAgent
+from repro.sim.faults import coverage_mark
 
 __all__ = ["ReplicatedDeployment", "scoped_fs_name"]
 
@@ -234,6 +235,7 @@ class ReplicatedDeployment:
         if self._failed_stop:
             return
         self._failed_stop = True
+        coverage_mark(self.world.engine, "inject", "replication.fail_stop")
         self.primary_host.fail_stop()
         self.channel.cut()
         self.container.kill()

@@ -36,7 +36,7 @@ from repro.replication.netbuffer import NetworkBuffer
 from repro.replication.statecache import InfrequentStateCache, PageDigestCache
 from repro.sim.access import record_access
 from repro.sim.engine import Engine, Event, Interrupt, Process
-from repro.sim.faults import fault_point
+from repro.sim.faults import coverage_mark, fault_point
 from repro.sim.trace import trace
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -138,7 +138,7 @@ class PrimaryAgent:
         loop (and with it the container) frozen forever.
         """
         self._quiescing = True
-        while self._epoch_process is not None and self._epoch_process.is_alive:
+        while self._epoch_process is not None and self._epoch_process.is_alive:  # ft: bounded -- the epoch loop checks _quiescing every cycle and exits; receipts are resolved below so it cannot wedge
             if self._receipt_events:
                 self._resolve_receipts()
             yield self.engine.timeout(1_000)
@@ -174,14 +174,16 @@ class PrimaryAgent:
         try:
             # Seed the backup with a full checkpoint before the first epoch.
             yield from self._checkpoint_cycle(incremental=False)
-            while not (self._stopped or self._quiescing):
+            while not (self._stopped or self._quiescing):  # ft: bounded -- exits on stop/quiesce/kernel-failure, all checked every cycle
                 yield self.engine.timeout(self.config.epoch_execute_us)
                 if self._stopped or self._quiescing or self.kernel.failed:
                     return
                 yield from self._checkpoint_cycle(incremental=True)
         except Interrupt:
-            return  # fail-stop: the agent dies silently with its host
-        except Exception:
+            # Fail-stop: the agent dies silently with its host.
+            coverage_mark(self.engine, "handler", "primary.epoch_interrupt")
+            return
+        except Exception:  # ft: defensive -- re-raises unless the host already fail-stopped
             if self.kernel.failed:
                 return  # dying with the host is expected under fail-stop
             raise
@@ -355,7 +357,9 @@ class PrimaryAgent:
             try:
                 delivery = yield self.endpoint.recv()
             except Interrupt:
-                return  # fail-stop / teardown
+                # Fail-stop / teardown.
+                coverage_mark(engine, "handler", "primary.ack_interrupt")
+                return
             message = delivery.message
             kind = message.get("kind")
             if kind == "receipt":

@@ -26,7 +26,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.link import Channel, Delivery, Endpoint
     from repro.sim.engine import Engine
 
-__all__ = ["clear_plan", "fault_point", "install_plan", "link_fault"]
+__all__ = [
+    "clear_plan", "coverage_mark", "fault_point", "install_plan",
+    "link_fault",
+]
 
 
 def fault_point(engine: "Engine", name: str, **detail: Any) -> int:
@@ -37,10 +40,27 @@ def fault_point(engine: "Engine", name: str, **detail: Any) -> int:
     the calling process at exactly this point.  Cheap no-op when no plan
     is armed.
     """
+    rec = getattr(engine, "_ftcov", None)
+    if rec is not None:
+        rec.record("point", name)
     plan = getattr(engine, "fault_plan", None)
     if plan is None:
         return 0
     return plan.on_point(name, detail)
+
+
+def coverage_mark(engine: "Engine", kind: str, name: str) -> None:
+    """Record reaching a recovery-path site for the ftcov dynamic oracle.
+
+    Sites on failure-handling paths (recovery handlers, ``inject_*``
+    entry points) carry this hook; the static inventory in
+    :mod:`repro.analysis.ftcov` treats a hooked site as dynamically
+    witnessed.  A single ``getattr`` no-op when no recorder is armed —
+    same zero-cost discipline as ``fault_point`` and ``SimProfiler``.
+    """
+    rec = getattr(engine, "_ftcov", None)
+    if rec is not None:
+        rec.record(kind, name)
 
 
 def link_fault(

@@ -204,7 +204,7 @@ class OpenLoopTraffic:
         sock = stack.socket()
         try:
             yield sock.connect(self.proxy_ip, self.proxy_port)
-        except ConnectionReset:
+        except ConnectionReset:  # ft: defensive -- recorded as a client-visible error; the SLO oracle judges it
             stats.errors += 1
             return
         for r in range(profile.requests_per_session):
@@ -222,7 +222,7 @@ class OpenLoopTraffic:
                         recv_ev,
                         engine.timeout(max(1, deadline - engine.now)),
                     ])
-                except ConnectionReset:
+                except ConnectionReset:  # ft: defensive -- recorded as a client-visible error; the SLO oracle judges it
                     stats.errors += 1
                     return
                 if recv_ev not in fired:

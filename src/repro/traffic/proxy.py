@@ -145,7 +145,7 @@ class _UpstreamConn:
                     continue
                 try:
                     chunk = yield self.sock.recv(1 << 16)
-                except ConnectionReset:
+                except ConnectionReset:  # ft: defensive -- reset maps to connection-closed; the reconnect path below owns recovery
                     chunk = b""
                 if chunk == b"":
                     # The connection died with requests in flight (an edge
@@ -159,7 +159,7 @@ class _UpstreamConn:
                     reply = buffered[:REPLY_BYTES]
                     buffered = buffered[REPLY_BYTES:]
                     self._complete(reply)
-        except Interrupt:
+        except Interrupt:  # ft: teardown -- proxy stop interrupts the relay loop
             return
 
     def _complete(self, reply: bytes) -> None:
@@ -186,11 +186,11 @@ class _UpstreamConn:
         queue in ``pending`` and are sent here)."""
         proxy = self.upstream.proxy
         backoff = ms(50)
-        while not proxy.stopped:
+        while not proxy.stopped:  # ft: bounded -- retries until the proxy stops; backoff is capped and failover restores the upstream
             self.sock = proxy.stack.socket()
             try:
                 yield self.sock.connect(self.upstream.ip, UPSTREAM_PORT)
-            except ConnectionReset:
+            except ConnectionReset:  # ft: defensive -- connect refused while the member is down; retried with capped backoff
                 yield self.engine.timeout(backoff)
                 backoff = min(backoff * 2, ms(800))
                 continue
@@ -395,7 +395,7 @@ class TrafficProxy:
         while not self.stopped:
             try:
                 conn = yield listener.accept()
-            except Interrupt:
+            except Interrupt:  # ft: teardown -- proxy stop interrupts the accept loop
                 return
             serial += 1
             self.engine.process(
@@ -414,7 +414,7 @@ class TrafficProxy:
             while not self.stopped:
                 try:
                     chunk = yield sock.recv(1 << 16)
-                except ConnectionReset:
+                except ConnectionReset:  # ft: defensive -- client reset tears down just this session
                     return
                 if chunk == b"":
                     return  # client closed the session
@@ -430,7 +430,7 @@ class TrafficProxy:
                     )
                     reply = yield upstream.pick_conn().submit(request)
                     sock.send(reply)
-        except Interrupt:
+        except Interrupt:  # ft: teardown -- proxy stop interrupts the session loop
             return
 
     # -- health probing -------------------------------------------------- #
@@ -442,7 +442,7 @@ class TrafficProxy:
         commit epochs is *unhealthy* even if its TCP stack still acks."""
         engine = self.engine
         try:
-            while not self.stopped:
+            while not self.stopped:  # ft: bounded -- exits when the proxy stops; every pass sleeps one probe interval
                 yield engine.timeout(self.health_interval_us)
                 if self.stopped or upstream.dead:
                     continue
@@ -473,7 +473,7 @@ class TrafficProxy:
                         reply_ev, upstream._progress,
                         engine.timeout(self.health_interval_us),
                     ])
-        except Interrupt:
+        except Interrupt:  # ft: teardown -- proxy stop interrupts the probe loop
             return
 
     # -- metrics --------------------------------------------------------- #

@@ -30,6 +30,68 @@ def test_scenario_points_are_declared():
             assert point in FAULT_POINTS, (scenario.name, point)
 
 
+def test_scenario_edges_are_declared():
+    from repro.fleet.controller import MEMBER_EDGES
+
+    declared = {f"{a}->{b}" for a, b in MEMBER_EDGES}
+    for scenario in FLEET_SCENARIOS.values():
+        for edge in scenario.edges:
+            assert edge in declared, (scenario.name, edge)
+
+
+def test_member_edges_are_well_formed():
+    """deploying is the dataclass-initial state: nothing may re-enter it,
+    and every edge endpoint must be a known state."""
+    from repro.fleet.controller import MEMBER_EDGES, MEMBER_STATES
+
+    for src, dst in MEMBER_EDGES:
+        assert src in MEMBER_STATES and dst in MEMBER_STATES, (src, dst)
+        assert dst != "deploying", "no edge may re-enter the initial state"
+
+
+def test_backup_failstop_during_reprotect_restarts_reprotect():
+    """Killing the freshly chosen backup host mid-reprotect must send the
+    member back through repair and land it protected on the spare."""
+    result = run_fleet_scenario("fleet.backup_failstop_during_reprotect",
+                                seed=7)
+    assert result.ok, result.violations
+    assert result.states == {"svc0": "protected", "svc1": "protected"}
+
+
+def test_dest_failstop_during_migration_aborts_and_reprotects():
+    """Killing the migration destination right after the primary-next
+    reservation must abort the cutover, roll back to the old primary and
+    re-protect both the migrating member and the collateral victim."""
+    result = run_fleet_scenario("fleet.dest_failstop_during_migration",
+                                seed=7)
+    assert result.ok, result.violations
+    assert result.states == {"svc0": "protected", "svc1": "protected"}
+
+
+def test_both_hosts_failstop_kills_only_that_member():
+    result = run_fleet_scenario("fleet.both_hosts_failstop", seed=7)
+    assert result.ok, result.violations
+    assert result.states == {"svc0": "dead", "svc1": "protected"}
+
+
+def test_set_state_is_idempotent_on_reentry():
+    """Regression: a restarted control loop resuming a half-done reprotect
+    re-sets the state it already holds; that must not surface as a
+    self-edge in the coverage recorder (or re-notify state listeners)."""
+    from repro.analysis.ftreplay import FtcovRecorder
+
+    recorder = FtcovRecorder()
+    result = run_fleet_scenario("fleet.controller_crash_mid_reprotect",
+                                seed=7, instrument=recorder.install)
+    assert result.ok, result.violations
+    self_edges = [
+        key for key in recorder.counters
+        if key.startswith("edge:")
+        and len(set(key.split(":", 1)[1].split("->"))) == 1
+    ]
+    assert self_edges == []
+
+
 def test_double_failure_resolves_shared_backup_contention():
     """Regression pin for the one scenario with no injection point: two
     simultaneous primary fail-stops whose detectors both live on one
