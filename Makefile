@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench ndflow ndflow-smoke ftcov ftcov-smoke analyze golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench report examples clean
+.PHONY: install test lint audit races races-smoke ckptcov ckptcov-smoke perf perf-smoke perf-bench ndflow ndflow-smoke ftcov ftcov-smoke analyze golden-regen bench bench-full validate faultcampaign faultcampaign-smoke fleet fleet-smoke fleet-bench traffic traffic-smoke traffic-bench hycor hycor-smoke hycor-bench report examples clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -168,6 +168,23 @@ traffic-smoke:
 # Regenerate the checked-in BENCH_traffic.json (review the diff!).
 traffic-bench:
 	PYTHONPATH=src $(PYTHON) -m repro traffic bench --out BENCH_traffic.json
+
+# Replication-mode comparison: the full 10-workload overhead-vs-recovery
+# tradeoff (HyCoR vs NiLiCon), then the bench gated against the
+# checked-in BENCH_hycor.json.
+hycor:
+	PYTHONPATH=src $(PYTHON) -m repro modes compare
+	PYTHONPATH=src $(PYTHON) -m repro hycor bench --check BENCH_hycor.json
+
+# CI subset: the three-workload comparison + the same gate (smoke cells
+# are byte-identical to the matching cells of the full bench).
+hycor-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro modes compare --smoke
+	PYTHONPATH=src $(PYTHON) -m repro hycor bench --smoke --check BENCH_hycor.json
+
+# Regenerate the checked-in BENCH_hycor.json (review the diff!).
+hycor-bench:
+	PYTHONPATH=src $(PYTHON) -m repro hycor bench --out BENCH_hycor.json
 
 report:
 	$(PYTHON) -m repro report

@@ -4,8 +4,9 @@ Runs all six analyzer families — nlint (DET/CKPT/RACE/ORD), races
 (happens-before + schedule fuzz), ckptcov (CKPT1xx + differential
 oracle), perf (PERF + profiler + bench gate), ndflow (NDF +
 record→replay oracle), and ftcov (FTC + catalog coverage crossref) —
-through their real CLI entry points, so each step keeps its exact gate
-semantics (baselines, knob polarity, selfchecks).  The aggregate exit
+plus the hycor bench gate (replication-mode tradeoff cells against
+BENCH_hycor.json) — through their real CLI entry points, so each step
+keeps its exact gate semantics (baselines, knob polarity, selfchecks).  The aggregate exit
 code is the max over steps, and the merged findings artifact re-runs
 the five static passes once more to tag every finding with its
 analyzer and baseline disposition.
@@ -59,6 +60,8 @@ STEPS: tuple[tuple[str, tuple[str, ...], tuple[str, ...]], ...] = (
     ("ftcov", ("ftcov", "record"), ("ftcov", "record")),
     ("ftcov", ("ftcov", "record", "--knob", "drop-scenario"),
      ("ftcov", "record", "--knob", "drop-scenario")),
+    ("hycor", ("hycor", "bench", "--smoke", "--check", "BENCH_hycor.json"),
+     ("hycor", "bench", "--check", "BENCH_hycor.json")),
 )
 
 #: Static pass -> (finding producer, baseline file or None).

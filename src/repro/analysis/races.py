@@ -440,6 +440,10 @@ TRACKED_STATE: dict[str, tuple[str, ...]] = {
         # drbd buffers).
         "epoch_disk_writes",
     ),
+    # HyCoR log shipping: the durable-flush ledger (log_commit barriers
+    # drain against it) and the backup's stored-flush window, written by
+    # the dispatch loop, the commit-supersede path and failover replay.
+    "replication/hycor.py": ("log_commit", "log_store"),
     # Heartbeat arrivals vs the detector's windowed miss check.
     "replication/heartbeat.py": ("heartbeat_window",),
     # Per-epoch buffered mirrored writes on the backup disk.

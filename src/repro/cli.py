@@ -265,7 +265,33 @@ def _cmd_report(args) -> int:
         else f"{len(traffic_report['violations'])} violation(s)"
     )
     print(f"\ntraffic: {traffic_verdict}")
-    return 0 if fleet_report["ok"] and traffic_report["ok"] else 1
+
+    print("\n## Modes — overhead vs recovery latency (HyCoR vs NiLiCon)\n")
+    from repro.experiments.hycor import run_mode_comparison
+
+    modes_report = run_mode_comparison(smoke=True, seed=args.seed)
+    print(markdown_table(
+        ["workload", "NiLiCon %", "HyCoR %", "reduction (points)"],
+        [[r["workload"], r["nilicon_overhead_pct"], r["hycor_overhead_pct"],
+          r["reduction_pct"]] for r in modes_report["rows"]],
+    ))
+    print("\nRecovery breakdown (ms); `replay` is HyCoR's log-tail replay,"
+          " zero by construction under NiLiCon:\n")
+    print(markdown_table(
+        ["cell", "detection", "restore", "replay", "total"],
+        [[key, c["detection_us"] / 1000, c["restore_us"] / 1000,
+          c["replay_us"] / 1000, c["total_us"] / 1000]
+         for key, c in sorted(modes_report["recovery_by_cell"].items())],
+    ))
+    modes_verdict = (
+        "output released on log-commit beats checkpoint-commit on every "
+        "server workload; the cost is the replayed log tail at recovery"
+        if modes_report["ok"]
+        else f"{len(modes_report['problems'])} problem(s)"
+    )
+    print(f"\nmodes: {modes_verdict}")
+    return 0 if (fleet_report["ok"] and traffic_report["ok"]
+                 and modes_report["ok"]) else 1
 
 
 def _cmd_lint(args) -> int:
@@ -966,6 +992,67 @@ def _cmd_traffic(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_modes(args) -> int:
+    """Replication strategy registry: list backends, compare the tradeoff."""
+    import json
+
+    from repro.replication.modes import MODE_REGISTRY
+
+    if args.action == "list":
+        for name, mode in MODE_REGISTRY.items():
+            pair = "pair" if mode.pair_protocol else "solo"
+            print(f"  {name:<9} [{pair}] release: {mode.release_rule:<18} "
+                  f"{mode.description}")
+        return 0
+
+    # action == "compare"
+    from repro.experiments.hycor import (
+        format_mode_comparison,
+        run_mode_comparison,
+    )
+
+    report = run_mode_comparison(smoke=args.smoke, seed=args.seed)
+    if args.json:
+        print(json.dumps(
+            {k: v for k, v in report.items() if k != "recovery_by_cell"},
+            indent=2, sort_keys=True, default=str,
+        ))
+    else:
+        print(format_mode_comparison(report))
+    return 0 if report["ok"] else 1
+
+
+def _cmd_hycor(args) -> int:
+    """HyCoR bench: the overhead-vs-recovery tradeoff cells + CI gate."""
+    import json
+
+    from repro.experiments.hycor import (
+        check_hycor_bench,
+        format_hycor_bench,
+        run_hycor_bench,
+        write_hycor_bench_json,
+    )
+
+    report = run_hycor_bench(seed=args.seed, smoke=args.smoke)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_hycor_bench(report))
+    if args.out:
+        write_hycor_bench_json(report, args.out)
+        print(f"\nwrote {args.out}")
+    if args.check:
+        with open(args.check, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = check_hycor_bench(report, baseline)
+        for problem in problems:
+            print(f"repro hycor: REGRESSION: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"hycor bench gate: within tolerance of {args.check}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -978,7 +1065,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run one benchmark under one mode")
     bench.add_argument("workload")
-    bench.add_argument("--mode", choices=("stock", "nilicon", "mc"), default="nilicon")
+    bench.add_argument("--mode", choices=("stock", "nilicon", "hycor", "mc"),
+                       default="nilicon")
     bench.add_argument("--duration-ms", type=int, default=2000)
 
     table = sub.add_parser("table", help="regenerate a paper table (1-6)")
@@ -1246,6 +1334,34 @@ def build_parser() -> argparse.ArgumentParser:
                               "checked-in BENCH_traffic.json (fail on >20%% "
                               "p99 rise or throughput drop)")
 
+    modes = sub.add_parser(
+        "modes",
+        help="replication strategies: registry listing, tradeoff comparison",
+    )
+    modes.add_argument("action", choices=("list", "compare"))
+    modes.add_argument("--smoke", action="store_true",
+                       help="compare only the CI workload subset")
+    modes.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
+
+    hycor = sub.add_parser(
+        "hycor",
+        help="HyCoR bench: overhead-vs-recovery tradeoff cells + CI gate",
+    )
+    hycor.add_argument("action", choices=("bench",))
+    hycor.add_argument("--smoke", action="store_true",
+                       help="bench only the CI workload subset (cells are "
+                            "identical to the same cells of a full run)")
+    hycor.add_argument("--json", action="store_true",
+                       help="emit the full JSON report")
+    hycor.add_argument("--out", default=None, metavar="FILE",
+                       help="also write the JSON report here "
+                            "(e.g. BENCH_hycor.json)")
+    hycor.add_argument("--check", default=None, metavar="FILE",
+                       help="gate cells against a checked-in "
+                            "BENCH_hycor.json (fail on >20%% overhead rise, "
+                            "recovery-latency rise, or reduction shrink)")
+
     return parser
 
 
@@ -1270,6 +1386,8 @@ _COMMANDS = {
     "faultcampaign": _cmd_faultcampaign,
     "fleet": _cmd_fleet,
     "traffic": _cmd_traffic,
+    "modes": _cmd_modes,
+    "hycor": _cmd_hycor,
 }
 
 

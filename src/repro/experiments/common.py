@@ -24,6 +24,7 @@ from repro.metrics.collector import RunMetrics
 from repro.net.world import World
 from repro.replication.config import NiliconConfig
 from repro.replication.manager import ReplicatedDeployment
+from repro.replication.modes import get_mode
 from repro.sim.units import ms, sec
 from repro.workloads.base import ClientStats, ComputeWorkload, ServerWorkload
 from repro.workloads.catalog import make_workload
@@ -38,7 +39,7 @@ __all__ = [
     "run_server_benchmark",
 ]
 
-MODES = ("stock", "nilicon", "mc")
+MODES = ("stock", "nilicon", "hycor", "mc")
 
 
 @dataclass
@@ -78,11 +79,17 @@ def build_deployment(
 ):
     if mode == "stock":
         return StockDeployment(world, spec)
-    if mode == "nilicon":
-        return ReplicatedDeployment(world, spec, config=config, on_failover=on_failover)
     if mode == "mc":
         return McDeployment(world, spec, **(mc_kwargs or {}))
-    raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    # Every other mode is a pair-protocol strategy from the registry
+    # (repro.replication.modes); validate the name and make the config
+    # carry it so reprotect/repair re-establish the same strategy.
+    get_mode(mode)
+    if config is None:
+        config = NiliconConfig.nilicon()
+    if config.mode != mode:
+        config = config.with_(mode=mode)
+    return ReplicatedDeployment(world, spec, config=config, on_failover=on_failover)
 
 
 def _wait_until_ready(world: World, deployment, floor_us: int):

@@ -106,7 +106,7 @@ def run_phase_injection(
     deployment = build_deployment(
         world,
         workload.spec(),
-        "nilicon",
+        scenario.mode,
         config=config,
         on_failover=lambda container: workload.attach(world, container),
     )

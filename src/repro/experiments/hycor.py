@@ -1,0 +1,470 @@
+"""HyCoR vs NiLiCon: the overhead-vs-recovery-latency tradeoff.
+
+HyCoR (Zhou & Tamir; PAPERS.md) replaces NiLiCon's per-epoch output
+commit with continuous nondeterminism-log shipping: external output is
+released as soon as the covering ~3 ms log flush is durable on the
+backup, instead of waiting for the ~30 ms checkpoint commit.  The cost
+moves to recovery — after restoring the last checkpoint the backup must
+replay the shipped log tail before promoting.
+
+This module measures both sides of that trade across the catalog:
+
+* **Overhead** — per workload, the throughput (server) or completion-time
+  (compute) overhead of each mode relative to ``stock``, using the same
+  steady-state methodology as Fig. 3.  For the latency-bound servers the
+  release delay is on the critical path of every closed-loop client, so
+  the overhead column directly reflects the output-commit rule.
+* **Recovery** — the Table II breakdown (detection / restore / ARP /
+  reconnect) per mode on the paper's two recovery benchmarks (Net and
+  Redis), plus HyCoR's extra ``replay`` component, which is identically
+  zero under NiLiCon (its recovery point *is* the last checkpoint).
+* **Traffic** — the L7 tier's failover profile run fleet-wide under
+  hycor: the open-loop SLO oracles must hold across the host fail-stop.
+
+``run_hycor_bench`` compacts the comparison into the checked-in
+``BENCH_hycor.json``; ``check_hycor_bench`` is the CI regression gate
+(overhead ceilings, recovery-latency ceilings, the reduction-vs-nilicon
+floor).  Every cell resets the identity counters and runs in a fresh
+world, so the numbers are exactly replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.experiments.common import (
+    RunResult,
+    build_deployment,
+    overhead_from_throughput,
+    overhead_from_time,
+    run_compute_benchmark,
+    run_server_benchmark,
+)
+from repro.faultinject import evaluate_oracles
+from repro.net.world import World, reset_id_counters
+from repro.sim.units import ms, sec
+from repro.workloads.base import ClientStats, ComputeWorkload, ServerWorkload
+from repro.workloads.catalog import WORKLOADS, make_workload
+
+__all__ = [
+    "COMPARISON_MODES",
+    "RECOVERY_WORKLOADS",
+    "SMOKE_WORKLOADS",
+    "check_hycor_bench",
+    "format_hycor_bench",
+    "format_mode_comparison",
+    "run_hycor_bench",
+    "run_mode_comparison",
+    "run_overhead_row",
+    "run_recovery_cell",
+    "write_hycor_bench_json",
+]
+
+COMPARISON_MODES = ("stock", "nilicon", "hycor")
+
+#: CI subset: one latency-bound server, one throughput server, one
+#: compute benchmark.  Cells are world-per-cell deterministic, so the
+#: smoke values are byte-identical to the same cells of a full run.
+SMOKE_WORKLOADS = ("net-echo", "redis", "swaptions")
+
+#: The paper's recovery-latency benchmarks (Table II: Net and Redis).
+RECOVERY_WORKLOADS = ("net", "redis")
+
+_SERVER_DURATION_US = sec(1)
+_RECOVERY_CRASH_AT_US = ms(700)
+_RECOVERY_TAIL_US = sec(3)
+
+
+# --------------------------------------------------------------------- #
+# Overhead cells                                                         #
+# --------------------------------------------------------------------- #
+def _run_generic_benchmark(
+    workload_name: str, mode: str, duration_us: int, seed: int
+) -> RunResult:
+    """Throughput runner for catalog workloads that are neither
+    ``ServerWorkload`` nor ``ComputeWorkload`` (disk-rw drives itself from
+    an in-container loop): operations completed over a fixed window."""
+    world = World(seed=seed)
+    workload = make_workload(workload_name)
+    deployment = build_deployment(
+        world,
+        workload.spec(),
+        mode,
+        on_failover=lambda container: workload.attach(world, container),
+    )
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+    settle = ms(400)
+    world.run(until=settle)
+    ops_at_settle = workload.operations
+    world.run(until=settle + duration_us)
+    deployment.stop()
+    if getattr(workload, "errors", None):
+        raise RuntimeError(
+            f"{workload_name}/{mode}: self-validation errors {workload.errors}"
+        )
+    ops = workload.operations - ops_at_settle
+    return RunResult(
+        workload=workload_name,
+        mode=mode,
+        throughput=ops * 1_000_000 / duration_us,
+    )
+
+
+def _run_overhead_cell(
+    workload_name: str, mode: str, duration_us: int, seed: int
+) -> RunResult:
+    reset_id_counters()
+    probe = make_workload(workload_name)
+    if isinstance(probe, ComputeWorkload):
+        return run_compute_benchmark(workload_name, mode, seed=seed)
+    if isinstance(probe, ServerWorkload):
+        return run_server_benchmark(
+            workload_name, mode, duration_us=duration_us, seed=seed
+        )
+    return _run_generic_benchmark(workload_name, mode, duration_us, seed)
+
+
+def run_overhead_row(
+    workload_name: str,
+    duration_us: int = _SERVER_DURATION_US,
+    seed: int = 1,
+) -> dict[str, Any]:
+    """One comparison row: stock baseline + per-mode overhead (percent)."""
+    cells = {
+        mode: _run_overhead_cell(workload_name, mode, duration_us, seed)
+        for mode in COMPARISON_MODES
+    }
+    stock = cells["stock"]
+    compute = stock.completion_us is not None
+    row: dict[str, Any] = {
+        "workload": workload_name,
+        "kind": "compute" if compute else "server",
+        "stock": (
+            stock.completion_us if compute else round(stock.throughput, 1)
+        ),
+    }
+    for mode in COMPARISON_MODES[1:]:
+        overhead = (
+            overhead_from_time(stock, cells[mode])
+            if compute
+            else overhead_from_throughput(stock, cells[mode])
+        )
+        row[f"{mode}_overhead_pct"] = round(100 * overhead, 2)
+    row["reduction_pct"] = round(
+        row["nilicon_overhead_pct"] - row["hycor_overhead_pct"], 2
+    )
+    return row
+
+
+# --------------------------------------------------------------------- #
+# Recovery cells                                                         #
+# --------------------------------------------------------------------- #
+def run_recovery_cell(
+    workload_name: str, mode: str, seed: int = 1
+) -> dict[str, Any]:
+    """One fail-stop run; returns the Table II breakdown for *mode*.
+
+    Clients run throughout, so the oracles audit the failover for
+    acknowledged-write loss at the same time the breakdown is captured.
+    """
+    reset_id_counters()
+    world = World(seed=seed)
+    workload = make_workload(workload_name)
+    deployment = build_deployment(
+        world,
+        workload.spec(),
+        mode,
+        on_failover=lambda container: workload.attach(world, container),
+    )
+    workload.warmup(world, deployment.container)
+    workload.attach(world, deployment.container)
+    deployment.start()
+
+    stats = ClientStats()
+    run_until = _RECOVERY_CRASH_AT_US + _RECOVERY_TAIL_US
+
+    def launch():
+        yield world.engine.timeout(ms(120))
+        workload.start_clients(world, stats, run_until_us=run_until)
+
+    def crash():
+        yield world.engine.timeout(_RECOVERY_CRASH_AT_US)
+        deployment.inject_fail_stop()
+
+    world.engine.process(launch())
+    world.engine.process(crash())
+    world.run(until=run_until)
+    deployment.stop()
+
+    violations = evaluate_oracles(deployment, stats, expect_failover=True)
+    recovery = deployment.metrics.recovery
+    if recovery is None:
+        violations.append(f"{workload_name}/{mode}: no recovery was recorded")
+        recovery_fields = {}
+    else:
+        recovery_fields = {
+            "detection_us": recovery.detection_us,
+            "restore_us": recovery.restore_us,
+            "arp_us": recovery.arp_us,
+            "reconnect_us": recovery.reconnect_us,
+            "replay_us": recovery.replay_us,
+            "total_us": recovery.total_recovery_us,
+        }
+    return {
+        "workload": workload_name,
+        "mode": mode,
+        "ok": not violations,
+        "violations": violations,
+        **recovery_fields,
+    }
+
+
+# --------------------------------------------------------------------- #
+# The comparison report                                                  #
+# --------------------------------------------------------------------- #
+def run_mode_comparison(
+    workloads: Iterable[str] | None = None,
+    smoke: bool = False,
+    seed: int = 1,
+) -> dict[str, Any]:
+    """Overhead rows + recovery breakdowns + the hycor traffic failover.
+
+    ``ok`` asserts the tradeoff itself: every server workload's hycor
+    overhead is at or below nilicon's (log-commit releases strictly
+    earlier than checkpoint-commit), hycor recovery replays a non-empty
+    log tail where nilicon replays nothing, and every fail-stop cell and
+    the traffic failover hold their oracles.
+    """
+    from repro.experiments.traffic import run_traffic_event
+
+    if workloads is None:
+        workloads = SMOKE_WORKLOADS if smoke else tuple(WORKLOADS)
+    rows = [run_overhead_row(name, seed=seed) for name in workloads]
+
+    recovery: list[dict[str, Any]] = []
+    for name in RECOVERY_WORKLOADS:
+        for mode in ("nilicon", "hycor"):
+            recovery.append(run_recovery_cell(name, mode, seed=seed))
+
+    traffic = run_traffic_event("failover", seed=seed, mode="hycor")
+    traffic_cell = {
+        "mode": "hycor",
+        "ok": not traffic["violations"],
+        "violations": traffic["violations"],
+        "requests": traffic["client"]["completed"],
+        "p99_us": traffic["row"].p99_us,
+    }
+
+    problems: list[str] = []
+    for row in rows:
+        if row["kind"] == "server" and row["reduction_pct"] < -1.0:
+            problems.append(
+                f"{row['workload']}: hycor overhead "
+                f"{row['hycor_overhead_pct']}% exceeds nilicon's "
+                f"{row['nilicon_overhead_pct']}% — log-commit release "
+                "should never lose to checkpoint-commit"
+            )
+    by_cell = {(c["workload"], c["mode"]): c for c in recovery}
+    for cell in recovery:
+        problems += cell["violations"]
+        if cell["mode"] == "hycor" and cell.get("replay_us", 0) <= 0:
+            problems.append(
+                f"{cell['workload']}/hycor: recovery replayed no log tail"
+            )
+        if cell["mode"] == "nilicon" and cell.get("replay_us", 0) != 0:
+            problems.append(
+                f"{cell['workload']}/nilicon: nonzero replay time "
+                f"{cell['replay_us']} us in a checkpoint-only mode"
+            )
+    problems += traffic_cell["violations"]
+
+    return {
+        "seed": seed,
+        "smoke": smoke,
+        "rows": rows,
+        "recovery": recovery,
+        "recovery_by_cell": {
+            f"{w}/{m}": c for (w, m), c in sorted(by_cell.items())
+        },
+        "traffic": traffic_cell,
+        "problems": problems,
+        "ok": not problems,
+    }
+
+
+def format_mode_comparison(report: dict[str, Any]) -> str:
+    lines = [
+        f"{'workload':<14}{'kind':<9}{'nilicon %':>10}{'hycor %':>9}"
+        f"{'reduction':>11}"
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['workload']:<14}{row['kind']:<9}"
+            f"{row['nilicon_overhead_pct']:>10.2f}"
+            f"{row['hycor_overhead_pct']:>9.2f}"
+            f"{row['reduction_pct']:>10.2f}p"
+        )
+    lines.append("")
+    lines.append(
+        f"{'recovery':<14}{'mode':<9}{'restore ms':>11}{'replay ms':>10}"
+        f"{'total ms':>9}"
+    )
+    for cell in report["recovery"]:
+        lines.append(
+            f"{cell['workload']:<14}{cell['mode']:<9}"
+            f"{cell.get('restore_us', 0) / 1000:>11.1f}"
+            f"{cell.get('replay_us', 0) / 1000:>10.1f}"
+            f"{cell.get('total_us', 0) / 1000:>9.1f}"
+        )
+    traffic = report["traffic"]
+    lines.append("")
+    lines.append(
+        f"traffic failover under hycor: "
+        f"{'ok' if traffic['ok'] else 'VIOLATIONS'} "
+        f"({traffic['requests']} requests, p99 "
+        f"{traffic['p99_us'] / 1000:.1f} ms)"
+    )
+    lines.append(
+        "comparison: "
+        + ("tradeoff holds" if report["ok"]
+           else f"{len(report['problems'])} problem(s)")
+    )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Bench + CI gate                                                        #
+# --------------------------------------------------------------------- #
+def run_hycor_bench(seed: int = 1, smoke: bool = False) -> dict[str, Any]:
+    """The pinnable cells for the checked-in BENCH_hycor.json.
+
+    Simulated time makes every cell exact and replayable; each cell runs
+    in its own world behind a counter reset, so a smoke run's cells are
+    byte-identical to the same cells of a full run and the gate can
+    compare whichever subset is present."""
+    report = run_mode_comparison(smoke=smoke, seed=seed)
+    workload_cells = {
+        row["workload"]: {
+            "kind": row["kind"],
+            "stock": row["stock"],
+            "nilicon_overhead_pct": row["nilicon_overhead_pct"],
+            "hycor_overhead_pct": row["hycor_overhead_pct"],
+            "reduction_pct": row["reduction_pct"],
+        }
+        for row in report["rows"]
+    }
+    recovery_cells = {
+        key: {
+            "detection_us": cell.get("detection_us", 0),
+            "restore_us": cell.get("restore_us", 0),
+            "replay_us": cell.get("replay_us", 0),
+            "total_us": cell.get("total_us", 0),
+        }
+        for key, cell in report["recovery_by_cell"].items()
+    }
+    return {
+        "seed": seed,
+        "workloads": workload_cells,
+        "recovery": recovery_cells,
+        "traffic": {
+            "requests": report["traffic"]["requests"],
+            "p99_us": report["traffic"]["p99_us"],
+            "ok": report["traffic"]["ok"],
+        },
+        "ok": report["ok"],
+    }
+
+
+def check_hycor_bench(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.20,
+) -> list[str]:
+    """The CI regression gate over BENCH_hycor.json.
+
+    Per workload present in both reports: hycor's overhead may not rise
+    more than *tolerance* (relative, floored at 2 percentage points)
+    above the checked-in cell, and the overhead reduction vs nilicon may
+    not shrink below the same band.  Per recovery cell: total recovery
+    latency may not rise more than *tolerance* above the baseline, and a
+    baseline with a replayed log tail must still replay one.  Returns
+    regression descriptions (empty = gate passes)."""
+    problems: list[str] = []
+    if not current.get("ok", False):
+        problems.append("current hycor bench failed its own tradeoff oracles")
+    base_workloads = baseline.get("workloads", {})
+    for name, cell in current.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        band = max(tolerance * abs(base["hycor_overhead_pct"]), 2.0)
+        ceiling = base["hycor_overhead_pct"] + band
+        if cell["hycor_overhead_pct"] > ceiling:
+            problems.append(
+                f"{name}: hycor overhead {cell['hycor_overhead_pct']}% is "
+                f"above the checked-in {base['hycor_overhead_pct']}% "
+                f"(ceiling {ceiling:.2f}%)"
+            )
+        band = max(tolerance * abs(base["reduction_pct"]), 2.0)
+        floor = base["reduction_pct"] - band
+        if cell["reduction_pct"] < floor:
+            problems.append(
+                f"{name}: overhead reduction vs nilicon shrank to "
+                f"{cell['reduction_pct']}p from the checked-in "
+                f"{base['reduction_pct']}p (floor {floor:.2f}p)"
+            )
+    base_recovery = baseline.get("recovery", {})
+    for key, cell in current.get("recovery", {}).items():
+        base = base_recovery.get(key)
+        if base is None:
+            continue
+        ceiling = base["total_us"] * (1 + tolerance)
+        if cell["total_us"] > ceiling:
+            problems.append(
+                f"{key}: recovery {cell['total_us']} us is more than "
+                f"{tolerance:.0%} above the checked-in {base['total_us']} us "
+                f"(ceiling {ceiling:.0f})"
+            )
+        if base["replay_us"] > 0 and cell["replay_us"] <= 0:
+            problems.append(f"{key}: log-tail replay disappeared")
+    if baseline.get("traffic", {}).get("ok") and not current.get(
+        "traffic", {}
+    ).get("ok", False):
+        problems.append("traffic failover under hycor no longer passes")
+    return problems
+
+
+def write_hycor_bench_json(
+    report: dict[str, Any], path: str = "BENCH_hycor.json"
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def format_hycor_bench(report: dict[str, Any]) -> str:
+    lines = [f"hycor bench (seed {report['seed']}) — "
+             f"{'tradeoff holds' if report['ok'] else 'PROBLEMS'}"]
+    for name in sorted(report["workloads"]):
+        cell = report["workloads"][name]
+        lines.append(
+            f"  {name:<14} nilicon {cell['nilicon_overhead_pct']:6.2f}%   "
+            f"hycor {cell['hycor_overhead_pct']:6.2f}%   "
+            f"reduction {cell['reduction_pct']:6.2f}p"
+        )
+    for key in sorted(report["recovery"]):
+        cell = report["recovery"][key]
+        lines.append(
+            f"  {key:<14} restore {cell['restore_us'] / 1000:6.1f} ms   "
+            f"replay {cell['replay_us'] / 1000:6.1f} ms   "
+            f"total {cell['total_us'] / 1000:6.1f} ms"
+        )
+    traffic = report["traffic"]
+    lines.append(
+        f"  traffic        {'ok' if traffic['ok'] else 'VIOLATIONS'} "
+        f"({traffic['requests']} requests, p99 {traffic['p99_us'] / 1000:.1f} ms)"
+    )
+    return "\n".join(lines)

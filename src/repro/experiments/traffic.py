@@ -30,7 +30,7 @@ noise.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Generator, Mapping
 
 from repro.analysis.fuzz import trace_digest
@@ -146,8 +146,14 @@ def _run_scenario_once(
     tail_us: int,
     trace_limit: int,
     instrument=None,
+    config: NiliconConfig | None = None,
 ) -> dict[str, Any]:
-    """One profile in a fresh world; returns the flat result record."""
+    """One profile in a fresh world; returns the flat result record.
+
+    The replication strategy comes from ``fleet.mode`` (the controller
+    folds it into its config), so a HyCoR campaign passes a fleet spec
+    with ``mode="hycor"`` rather than a different config object.
+    """
     reset_id_counters()
     world = World(seed=seed)
     if instrument is not None:
@@ -155,7 +161,8 @@ def _run_scenario_once(
     tracer = install_tracer(world.engine, limit=trace_limit)
     pool = HostPool(world, fleet.n_hosts, slots_per_host=fleet.slots_per_host)
     controller = FleetController(
-        world, pool, fleet_spec=fleet, config=NiliconConfig.nilicon(),
+        world, pool, fleet_spec=fleet,
+        config=config if config is not None else NiliconConfig.nilicon(),
         seed=seed,
     )
     controller.deploy()
@@ -285,7 +292,7 @@ def _run_scenario_once(
 
 
 def run_traffic_event(
-    event: str, seed: int = 1, instrument=None
+    event: str, seed: int = 1, instrument=None, mode: str = "nilicon"
 ) -> dict[str, Any]:
     """Run the one smoke profile carrying *event* ("failover" or
     "migration") once — the ftcov coverage runner drives the traffic
@@ -296,20 +303,28 @@ def run_traffic_event(
     ]
     if not matches:
         raise KeyError(f"no smoke traffic profile carries event {event!r}")
+    fleet = SMOKE_FLEET if mode == SMOKE_FLEET.mode else replace(
+        SMOKE_FLEET, mode=mode
+    )
     return _run_scenario_once(
-        seed, SMOKE_FLEET, matches[0], tail_us=sec(2),
+        seed, fleet, matches[0], tail_us=sec(2),
         trace_limit=2_000_000, instrument=instrument,
     )
 
 
-def run_traffic_campaign(seed: int = 1, smoke: bool = False) -> dict[str, Any]:
+def run_traffic_campaign(
+    seed: int = 1, smoke: bool = False, mode: str = "nilicon"
+) -> dict[str, Any]:
     """All four profiles, each run twice with the same seed.
 
     The replay must reproduce the trace digest AND the SLO table digest —
     the client-visible numbers themselves are part of the determinism
-    contract, not just the event order behind them.
+    contract, not just the event order behind them.  *mode* selects the
+    replication strategy fleet-wide (``nilicon`` or ``hycor``).
     """
     fleet = SMOKE_FLEET if smoke else TRAFFIC_FLEET
+    if fleet.mode != mode:
+        fleet = replace(fleet, mode=mode)
     tail_us = sec(2) if smoke else sec(3)
     trace_limit = 2_000_000 if smoke else 6_000_000
 
@@ -361,6 +376,7 @@ def run_traffic_campaign(seed: int = 1, smoke: bool = False) -> dict[str, Any]:
         "ok": not violations,
         "smoke": smoke,
         "seed": seed,
+        "mode": mode,
         "fleet": {
             "containers": fleet.n_containers,
             "hosts": fleet.n_hosts,

@@ -14,7 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.replication.manager import ReplicatedDeployment
     from repro.sim.engine import Engine
 
-__all__ = ["crash_primary", "spurious_redetect"]
+__all__ = ["corrupt_stored_flush", "crash_primary", "spurious_redetect"]
 
 
 def crash_primary(
@@ -37,6 +37,33 @@ def crash_primary(
             deployment.inject_fail_stop()
 
         engine.process(later(), name="fault-delayed-crash")
+
+    return action
+
+
+def corrupt_stored_flush(
+    deployment: "ReplicatedDeployment",
+) -> Callable[["Engine"], None]:
+    """Flip a bit in the highest-sequence stored HyCoR log flush.
+
+    Models durable-log corruption discovered at failover (outside the
+    fail-stop model): replay must *detect* the mismatch against the shipped
+    window digest and promote from the last flush that verifies, rather
+    than apply state it cannot trust.  Fired at ``backup.mid_recover`` —
+    after the store stopped changing, before replay reads it.
+    """
+
+    def action(_engine: "Engine") -> None:
+        store = deployment.backup_agent._log_store
+        for seq in sorted(store, reverse=True):
+            if store[seq]["entries"]:
+                entry = store[seq]["entries"][-1]
+                entry[2] = "corrupted-" + entry[2]
+                return
+        # All stored flushes empty (no memory writes shipped): poison the
+        # digest of the newest instead so verification still trips.
+        if store:
+            store[max(store)]["crc"] = "ffffffff"
 
     return action
 

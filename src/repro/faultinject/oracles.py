@@ -54,7 +54,18 @@ def check_durability(deployment: "ReplicatedDeployment") -> list[str]:
         return violations
     recovered = backup.recovered_from_epoch
     released = [r.epoch for r in deployment.netbuffer.releases]
-    if recovered is not None and released and max(released) > recovered:
+    if deployment.mode.release_rule == "log-commit":
+        # HyCoR: barriers are flush sequences, and the recovery point is
+        # the checkpoint *plus* the replayed log tail — released output
+        # must be covered by the last flush replay actually applied.
+        horizon = backup.replay_horizon_seq
+        if horizon is not None and released and max(released) > horizon:
+            violations.append(
+                f"flush {max(released)} output was released to clients but "
+                f"failover replayed through flush {horizon} "
+                "(lost committed output)"
+            )
+    elif recovered is not None and released and max(released) > recovered:
         violations.append(
             f"epoch {max(released)} output was released to clients but "
             f"failover restored epoch {recovered} (lost committed output)"
@@ -82,9 +93,16 @@ def check_failover_expectation(
     return []
 
 
-def check_client_sessions(stats: "ClientStats") -> list[str]:
+def check_client_sessions(
+    stats: "ClientStats", allow_reconnects: bool = False
+) -> list[str]:
+    """*allow_reconnects* relaxes only the connection-error count — HyCoR's
+    documented recovery rule aborts surviving connections after replay (the
+    restored socket streams lag the log-commit-released output), so clients
+    see one reset each and reconnect.  Validation failures (lost or wrong
+    acknowledged writes) and progress always gate."""
     violations = []
-    if stats.errors:
+    if stats.errors and not allow_reconnects:
         violations.append(f"{stats.errors} client connection errors")
     violations.extend(stats.validation_failures[:5])
     if stats.completed == 0:
@@ -103,5 +121,11 @@ def evaluate_oracles(
     violations += check_failover_expectation(deployment, expect_failover)
     violations += check_durability(deployment)
     if expect_liveness:
-        violations += check_client_sessions(stats)
+        mode = getattr(deployment, "mode", None)
+        allow_reconnects = (
+            deployment.failed_over
+            and mode is not None
+            and mode.release_rule == "log-commit"
+        )
+        violations += check_client_sessions(stats, allow_reconnects)
     return violations

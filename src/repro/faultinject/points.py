@@ -55,6 +55,21 @@ FAULT_POINTS: dict[str, str] = {
         "Failover recovery in flight: uncommitted state discarded, CRIU "
         "images not yet materialized/restored."
     ),
+    "hycor.mid_log_ship": (
+        "HyCoR: a log flush's egress fence is inserted but the flush is "
+        "not yet on the wire — a crash here strands fenced output behind "
+        "a barrier the backup will never acknowledge."
+    ),
+    "hycor.log_gap": (
+        "HyCoR failover: the shipped log has a sequence hole (a flush died "
+        "with the primary or the link); the parked tail past the gap is "
+        "about to be discarded — nothing in it was ever acknowledged."
+    ),
+    "hycor.replay_divergence": (
+        "HyCoR failover: a stored flush failed digest re-verification "
+        "during replay; promotion proceeds from the last flush that "
+        "verifies."
+    ),
 }
 
 #: Fleet-controller injection points (the control plane above the pair
@@ -93,7 +108,11 @@ FAULT_POINTS.update(FLEET_FAULT_POINTS)
 
 #: Message kinds a :class:`~repro.faultinject.plan.LinkFault` may target
 #: (the ``kind`` field of every pair-channel message).
-LINK_MESSAGE_KINDS = ("state", "ack", "heartbeat", "disk_write", "disk_barrier")
+LINK_MESSAGE_KINDS = (
+    "state", "ack", "heartbeat", "disk_write", "disk_barrier",
+    # HyCoR-mode pair-channel traffic (repro.replication.hycor).
+    "ndlog", "log_ack",
+)
 
 
 def hooked_points(root: str | Path) -> set[str]:

@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.faultinject.actions import crash_primary, spurious_redetect
+from repro.faultinject.actions import (
+    corrupt_stored_flush,
+    crash_primary,
+    spurious_redetect,
+)
 from repro.faultinject.plan import FaultPlan, LinkFault, PointFault
 from repro.sim.units import ms
 
@@ -56,6 +60,9 @@ class Scenario:
     expect_liveness: bool = True
     #: Injection points this scenario exercises (campaign coverage report).
     points: tuple[str, ...] = field(default=())
+    #: Replication mode the cell deploys (``repro.replication.modes``); the
+    #: ``hycor.*`` windows only exist under the hycor backend.
+    mode: str = "nilicon"
 
 
 def _crash_at(point: str) -> Callable[["World", "ReplicatedDeployment"], FaultPlan]:
@@ -258,6 +265,102 @@ _register(Scenario(
     ),
     arm=_link(LinkFault(kind="heartbeat", mode="delay", delay_us=ms(10),
                         count=None)),
+))
+
+
+# -- HyCoR-mode scenarios ---------------------------------------------------
+# Flush fences tick every NiliconConfig.hycor_log_flush_us (3 ms), so flush
+# ordinals ~= run time / 3 ms; these land between the clients' start
+# (~120 ms) and the nilicon scenarios' TARGET_EPOCH crash (~epoch 12).
+_FLUSH_TARGET = 120
+#: The dropped flush for the log-gap cell; the primary is killed two
+#: flushes later, inside the same epoch, so no checkpoint commit can
+#: supersede (heal) the hole before failover.
+_GAP_FLUSH = 118
+#: First log_ack swallowed in the divergence cell: the release horizon
+#: freezes here, so corrupting the *newest* stored flush (which replay then
+#: refuses) can never lose output that was already released.
+_ACK_FREEZE_MATCH = 110
+
+
+def _crash_at_flush(at_hit: int) -> Callable[["World", "ReplicatedDeployment"], FaultPlan]:
+    def arm(world: "World", deployment: "ReplicatedDeployment") -> FaultPlan:
+        plan = FaultPlan(points=[
+            PointFault("hycor.mid_log_ship", at_hit=at_hit, kill=True,
+                       action=crash_primary(deployment)),
+        ])
+        return plan.arm(world.engine)
+
+    return arm
+
+
+def _gap_then_crash(world: "World", deployment: "ReplicatedDeployment") -> FaultPlan:
+    plan = FaultPlan(
+        points=[
+            PointFault("hycor.mid_log_ship", at_hit=_GAP_FLUSH + 2, kill=True,
+                       action=crash_primary(deployment)),
+            PointFault("hycor.log_gap"),
+        ],
+        links=[LinkFault(kind="ndlog", mode="drop", at_match=_GAP_FLUSH)],
+    )
+    return plan.arm(world.engine)
+
+
+def _corrupt_then_crash(world: "World", deployment: "ReplicatedDeployment") -> FaultPlan:
+    plan = FaultPlan(
+        points=[
+            PointFault("primary.post_freeze", epoch=TARGET_EPOCH, kill=True,
+                       action=crash_primary(deployment)),
+            PointFault("backup.mid_recover",
+                       action=corrupt_stored_flush(deployment)),
+            PointFault("hycor.replay_divergence"),
+        ],
+        links=[LinkFault(kind="log_ack", mode="drop",
+                         at_match=_ACK_FREEZE_MATCH, count=None)],
+    )
+    return plan.arm(world.engine)
+
+
+_register(Scenario(
+    name="crash@hycor.mid_log_ship",
+    description=(
+        f"HyCoR: fail-stop the primary at flush {_FLUSH_TARGET}, fence "
+        "inserted but the flush not yet on the wire; the stranded window "
+        "was never acknowledged, so failover replays only the durable "
+        "prefix and loses nothing released."
+    ),
+    arm=_crash_at_flush(_FLUSH_TARGET),
+    expect_failover=True,
+    points=("hycor.mid_log_ship",),
+    mode="hycor",
+))
+_register(Scenario(
+    name="hycor.log-gap",
+    description=(
+        f"HyCoR: silently drop flush {_GAP_FLUSH}, kill the primary two "
+        "flushes later.  The backup parked the post-gap tail un-acked; "
+        "failover must detect the hole, discard the tail and promote from "
+        "the consecutive durable prefix."
+    ),
+    arm=_gap_then_crash,
+    expect_failover=True,
+    points=("hycor.mid_log_ship", "hycor.log_gap"),
+    mode="hycor",
+))
+_register(Scenario(
+    name="hycor.replay-divergence",
+    description=(
+        "HyCoR: corrupt the newest stored flush at recovery start (durable "
+        "log corruption, outside the fail-stop model) with log_acks "
+        f"swallowed from match {_ACK_FREEZE_MATCH} so its output never "
+        "escaped.  Replay must detect the digest mismatch and promote from "
+        "the last flush that verifies."
+    ),
+    arm=_corrupt_then_crash,
+    expect_failover=True,
+    points=("primary.post_freeze", "backup.mid_recover",
+            "hycor.replay_divergence"),
+    mode="hycor",
 ))
 
 

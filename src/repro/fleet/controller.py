@@ -90,8 +90,8 @@ MEMBER_EDGES = (
     ("protected", "migrating"),
     ("migrating", "repair_pending"),
     ("protected", "dead"),
-    ("reprotect_pending", "degraded"),  # ft: backlog -- scenario: fleet.failover_into_exhausted_pool
-    ("degraded", "reprotecting"),  # ft: backlog -- scenario: fleet.failover_into_exhausted_pool
+    ("reprotect_pending", "degraded"),
+    ("degraded", "reprotecting"),
     ("reprotect_pending", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_before_reprotect
     ("reprotecting", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_mid_reprotect
     ("repair_pending", "dead"),  # ft: backlog -- scenario: fleet.primary_lost_before_repair
@@ -162,6 +162,12 @@ class FleetController:
         self.specs = specs
         self.strategy = fleet_spec.strategy if fleet_spec is not None else "spread"
         self.config = config if config is not None else NiliconConfig.nilicon()
+        # The fleet spec's replication mode wins: every deployment this
+        # controller builds (deploy, reprotect, repair, migrate) derives
+        # its strategy from self.config, so folding it in here is what
+        # makes topology changes re-establish the same mode.
+        if fleet_spec is not None and self.config.mode != fleet_spec.mode:
+            self.config = self.config.with_(mode=fleet_spec.mode)
         self.seed = seed
         self.scan_interval_us = scan_interval_us
         self.members: dict[str, FleetMember] = {}

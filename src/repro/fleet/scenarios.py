@@ -289,6 +289,76 @@ _register(FleetScenario(
 
 
 # --------------------------------------------------------------------- #
+# 3b. Failover into an exhausted pool -> degraded -> capacity returns    #
+# --------------------------------------------------------------------- #
+def _failover_exhausted_schedule(world: World,
+                                 controller: FleetController) -> None:
+    def timeline() -> Generator[Any, Any, None]:
+        yield world.engine.timeout(ms(600))
+        # Both primaries live on node0; killing it makes both members fail
+        # over onto node1 — whose slots their backups already occupy.  The
+        # re-protection path (not the repair path) then finds the pool
+        # exhausted.
+        controller.inject_host_failstop(controller.pool.host("node0"))
+        yield world.engine.timeout(ms(900))
+        # Capacity returns; the control loop must re-protect on its own.
+        controller.pool.add_host()
+
+    world.engine.process(timeline(), name="failover-exhaust-timeline")
+
+
+def _failover_exhausted_check(controller: FleetController,
+                              plan: FaultPlan) -> list[str]:
+    problems = []
+    for member in controller.members.values():
+        problems += _expect(
+            member.failovers == 1,
+            f"{member.name}: failovers={member.failovers}, expected 1",
+        )
+        problems += _expect(
+            member.degraded_us > 0,
+            f"{member.name} never ran degraded (degraded_us=0)",
+        )
+        problems += _expect(
+            member.reprotects >= 1,
+            f"{member.name} was never re-protected after capacity returned",
+        )
+    return problems
+
+
+_register(FleetScenario(
+    name="fleet.failover_pool_exhausted",
+    description=(
+        "Both members' primary host dies; both fail over onto the single "
+        "surviving host and their re-protections find no free slot.  The "
+        "members must keep serving degraded *from the re-protect path* "
+        "(reprotect_pending -> degraded, the edge the repair-side "
+        "exhaustion scenario cannot reach), then re-protect automatically "
+        "when a host is added (degraded -> reprotecting)."
+    ),
+    fleet=FleetSpec(n_containers=2, n_hosts=2, slots_per_host=2),
+    points=("fleet.pool_exhausted",),
+    decisions=(
+        PlacementDecision("svc0", "node0", "node1"),
+        PlacementDecision("svc1", "node0", "node1"),
+    ),
+    make_plan=lambda world, controller: FaultPlan(
+        points=[PointFault(point="fleet.pool_exhausted")]
+    ),
+    schedule=_failover_exhausted_schedule,
+    check=_failover_exhausted_check,
+    run_until_us=sec(4),
+    edges=(
+        "deploying->protected",
+        "protected->reprotect_pending",
+        "reprotect_pending->degraded",
+        "degraded->reprotecting",
+        "reprotecting->protected",
+    ),
+))
+
+
+# --------------------------------------------------------------------- #
 # 4. Migration link cut mid-transfer                                     #
 # --------------------------------------------------------------------- #
 def _migration_cut_schedule(world: World, controller: FleetController) -> None:

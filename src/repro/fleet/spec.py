@@ -28,6 +28,11 @@ class FleetSpec:
     slots_per_host: int = 8
     #: Placement strategy: ``packed`` / ``spread`` / ``random``.
     strategy: str = "spread"
+    #: Replication strategy every member runs under (a pair-protocol name
+    #: from :mod:`repro.replication.modes`: ``nilicon`` or ``hycor``).  The
+    #: controller folds it into its config so reprotect/repair/migrate
+    #: re-establish the same mode after every topology change.
+    mode: str = "nilicon"
     #: Per-member heap size (kept small: fleet experiments multiply it).
     heap_pages: int = 64
     n_threads: int = 1

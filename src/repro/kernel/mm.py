@@ -109,6 +109,12 @@ class AddressSpace:
         #: (:class:`repro.analysis.auditor.StateAuditor`); ``None`` when
         #: auditing is off, so the hot path pays one attribute test.
         self.audit_hook: object | None = None  # ckpt: ephemeral -- observer, reinstalled by the auditor
+        #: Optional write-capture observer installed by the HyCoR log
+        #: shipper (:class:`repro.replication.hycor.LogShipper`): called
+        #: with ``(page_idx, token)`` on every write so mutations land in
+        #: the nondeterminism log.  Same one-attribute-test discipline as
+        #: ``audit_hook``.
+        self.capture_hook: object | None = None  # ckpt: ephemeral -- observer, reinstalled by the shipper
         #: Nanoseconds of fault overhead accrued but not yet charged as
         #: simulated time; the workload driver drains this (see module doc).
         #: KNOWN GAP (ckptcov baseline): fault time accrued but not yet
@@ -176,6 +182,8 @@ class AddressSpace:
                 self.pending_fault_ns += self.costs.vm_exit_fault_ns
         if self.audit_hook is not None:
             self.audit_hook.page_written(page_idx)
+        if self.capture_hook is not None:
+            self.capture_hook.page_written(page_idx, token)
         self.pages_written += 1
         self.pages[page_idx] = token
 

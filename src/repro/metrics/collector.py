@@ -48,6 +48,10 @@ class RecoveryBreakdown:
     restore_us: int = 0
     arp_us: int = 0
     reconnect_us: int = 0
+    #: HyCoR only: time spent replaying the shipped nondeterminism-log
+    #: tail through the restored container before promotion (zero under
+    #: NiLiCon — its recovery point *is* the last committed checkpoint).
+    replay_us: int = 0
     total_recovery_us: int = 0
 
 

@@ -86,8 +86,8 @@ class World:
 def reset_id_counters() -> None:
     """Rewind the process-global identity counters to their boot values.
 
-    Pids, tids, inode numbers, namespace ids, MACs, packet ids and TCP
-    initial sequence numbers come from module-level ``itertools.count``
+    Pids, tids, inode numbers, namespace ids, MACs, packet ids, client
+    IPs and TCP initial sequence numbers come from module-level counter
     streams, so a second :class:`World` built in the same process hands
     out larger ids than the first.  That is harmless for correctness but
     fatal for replay comparison: serialized checkpoint images embed pids
@@ -105,6 +105,7 @@ def reset_id_counters() -> None:
     from repro.kernel import netdev as _netdev
     from repro.kernel import task as _task
     from repro.kernel import tcp as _tcp
+    from repro.workloads import clients as _clients
 
     _task._tid_counter = itertools.count(1000)
     _task._pid_counter = itertools.count(100)
@@ -113,3 +114,4 @@ def reset_id_counters() -> None:
     _netdev._packet_ids = itertools.count(1)
     _tcp._initial_seq = itertools.count(10_000, 7_777)
     _runtime._mac_counter = itertools.count(1)
+    _clients._client_ips = 0

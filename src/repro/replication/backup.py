@@ -200,6 +200,13 @@ class BackupAgent:
                 self.drbd[message["disk"]].on_barrier(message["epoch"], message["writes"])
             elif kind == "state":
                 self._state_queue.put((message["epoch"], message["image"], delivery))
+            else:
+                self._dispatch_extra(message)
+
+    def _dispatch_extra(self, message: dict) -> None:
+        """Strategy hook for mode-specific channel messages (HyCoR's
+        ``ndlog`` flushes); unknown kinds are ignored.  Must not block —
+        the dispatcher keeps heartbeats flowing."""
 
     def _commit_loop(self) -> Generator[Any, Any, None]:
         """Process state images strictly in epoch order.
@@ -281,6 +288,7 @@ class BackupAgent:
             self.digest_mismatches += verify_page_digests(image, digests)
         yield from self._commit_state(epoch, image)
         trace(self.engine, "backup", "committed", epoch=epoch)
+        self._after_commit(epoch, delivery.message)
         if not self.config.unsafe_ack_before_commit:
             # ACK only once the epoch is durable: the primary may now
             # release this epoch's buffered output.
@@ -290,6 +298,21 @@ class BackupAgent:
     def _send_ack(self, epoch: int) -> None:
         self.endpoint.send({"kind": "ack", "epoch": epoch}, size_bytes=64)
         trace(self.engine, "backup", "ack_sent", epoch=epoch)
+
+    def _after_commit(self, epoch: int, message: dict) -> None:
+        """Strategy hook: a checkpoint epoch just became durable.  HyCoR
+        truncates the stored nondeterminism log below the flush sequence
+        the checkpoint's ``log_seq`` field declares superseded."""
+
+    def _replay_after_restore(self, container: "Container") -> Generator[Any, Any, int]:
+        """Strategy hook: run between restore and bridge re-attach.
+
+        HyCoR replays the shipped nondeterminism-log tail through the
+        restored container before it goes live; NiLiCon's recovery point
+        *is* the last committed checkpoint.  Returns replay time in µs.
+        """
+        return 0
+        yield  # pragma: no cover -- generator form so overrides may yield
 
     def _commit_state(self, epoch: int, image: CheckpointImage) -> Generator[Any, Any, None]:
         """Commit *epoch* into the page store, component buffers and disk.
@@ -452,6 +475,8 @@ class BackupAgent:
             # the container goes live behind the old IP.
             self.auditor.audit_restore(container)
 
+        replay_us = yield from self._replay_after_restore(container)
+
         # Reconnect the namespace to the bridge, then advertise the new MAC.
         yield self._charge(costs.bridge_reconnect)
         port = self.bridge.attach(container.veth)
@@ -467,6 +492,7 @@ class BackupAgent:
             restore_us=restore_us,
             arp_us=arp_us,
             reconnect_us=costs.bridge_reconnect,
+            replay_us=replay_us,
             total_recovery_us=self.engine.now - recovery_start,
         )
         if self.on_failover is not None:

@@ -102,10 +102,26 @@ class NiliconConfig:
     #: so the fault campaign can demonstrate the race; never enable outside
     #: tests.
     unsafe_release_oldest_barrier: bool = False
+    #: Replication strategy backend (:mod:`repro.replication.modes`):
+    #: ``"nilicon"`` releases output on checkpoint commit (the paper's
+    #: output-commit-per-epoch), ``"hycor"`` ships a per-container
+    #: nondeterminism log continuously and releases output on log commit,
+    #: replaying the shipped tail on the backup at failover.
+    mode: str = "nilicon"
+    #: HyCoR log-flush period: the primary closes and ships the open
+    #: nondeterminism-log window every this many microseconds, so released
+    #: output waits roughly one flush interval plus the log-commit round
+    #: trip instead of up to a whole epoch.
+    hycor_log_flush_us: int = ms(3)
 
     @classmethod
     def nilicon(cls) -> "NiliconConfig":
         return cls()
+
+    @classmethod
+    def hycor(cls) -> "NiliconConfig":
+        """Fully-optimized checkpointing with HyCoR-style log shipping."""
+        return cls(mode="hycor")
 
     @classmethod
     def basic(cls) -> "NiliconConfig":

@@ -26,12 +26,11 @@ from repro.metrics.collector import RunMetrics
 from repro.net.host import Host
 from repro.net.link import Channel
 from repro.net.world import World
-from repro.replication.backup import BackupAgent
 from repro.replication.config import NiliconConfig
 from repro.replication.drbd import BackupDrbd, PrimaryDrbd
 from repro.replication.heartbeat import HeartbeatSender
+from repro.replication.modes import get_mode
 from repro.replication.netbuffer import NetworkBuffer
-from repro.replication.primary import PrimaryAgent
 from repro.sim.faults import coverage_mark
 
 __all__ = ["ReplicatedDeployment", "scoped_fs_name"]
@@ -91,6 +90,16 @@ class ReplicatedDeployment:
         self.spec = spec
         self.initial_epoch = initial_epoch
         self.config = config if config is not None else NiliconConfig.nilicon()
+        #: The replication strategy backend this pairing runs.  Resolved
+        #: from the config by name, so reprotect/repair/migrate (which pass
+        #: the config along) re-establish the same mode automatically.
+        self.mode = get_mode(self.config.mode)
+        if not self.mode.pair_protocol:
+            raise ValueError(
+                f"replication mode {self.config.mode!r} does not run the "
+                "pair protocol; build it via "
+                "repro.experiments.common.build_deployment"
+            )
         self.on_failover = on_failover
         self.metrics = RunMetrics()
         self.primary_host = primary_host if primary_host is not None else world.primary
@@ -160,11 +169,9 @@ class ReplicatedDeployment:
             engine,
             costs,
             self.container,
-            input_block=self.config.input_block,
-            release_oldest=self.config.unsafe_release_oldest_barrier,
-            initial_epoch=initial_epoch,
+            **self.mode.netbuffer_kwargs(self.config, self.container, initial_epoch),
         )
-        self.primary_agent = PrimaryAgent(
+        self.primary_agent = self.mode.make_primary_agent(
             container=self.container,
             endpoint=primary_endpoint,
             config=self.config,
@@ -183,7 +190,8 @@ class ReplicatedDeployment:
 
         # -- backup side --------------------------------------------------------
         self.backup_runtime = ContainerRuntime(self.backup_host.kernel, world.bridge)
-        self.backup_agent = BackupAgent(
+        self.backup_agent = self.mode.make_backup_agent(
+            primary_container=self.container,
             engine=engine,
             runtime=self.backup_runtime,
             endpoint=backup_endpoint,

@@ -62,11 +62,18 @@ class NetworkBuffer:
         input_block: Literal["plug", "firewall"] = "plug",
         release_oldest: bool = False,
         initial_epoch: int = 0,
+        commit_ledger_kind: str = "epoch_commit",
     ) -> None:
         self.engine = engine
         self.costs = costs
         self.container = container
         self.input_block_mode = input_block
+        #: Durability-ledger kind the release path asserts against:
+        #: ``"epoch_commit"`` under NiLiCon (the backup's checkpoint commit
+        #: authorizes release), ``"log_commit"`` under HyCoR (a durable
+        #: nondeterminism-log flush does).  Barrier ids are then epoch
+        #: numbers or flush sequence numbers respectively.
+        self.commit_ledger_kind = commit_ledger_kind
         #: Legacy pop-oldest-barrier release semantics (the non-idempotent
         #: bug; kept behind ``NiliconConfig.unsafe_release_oldest_barrier``
         #: so regression tests can demonstrate the failure it causes).
@@ -124,7 +131,8 @@ class NetworkBuffer:
         # the backup agent writes at commit publication.
         record_access(self.engine, self, "egress_barrier", "w", key=barrier_epoch,
                       site="netbuffer.release_barrier")
-        record_access(self.engine, f"durable:{self.container.name}", "epoch_commit",
+        record_access(self.engine, f"durable:{self.container.name}",
+                      self.commit_ledger_kind,
                       "r+", key=max(barrier_epoch, self._ledger_floor),
                       site="netbuffer.release_barrier")
         self.releases.append(

@@ -237,7 +237,7 @@ class PrimaryAgent:
         )
 
         # Epoch barrier: output buffered so far belongs to this epoch.
-        self.netbuffer.insert_epoch_barrier(epoch)
+        self._insert_output_barrier(epoch)
         stall = fault_point(self.engine, "primary.post_barrier", epoch=epoch)
         if stall:
             yield self.engine.timeout(stall)
@@ -312,6 +312,28 @@ class PrimaryAgent:
         self.metrics.charge_primary_cpu(stop_us)
         self.epoch += 1
 
+    # ------------------------------------------------------------------ #
+    # Strategy hooks (overridden by the HyCoR mode; see replication/modes) #
+    # ------------------------------------------------------------------ #
+    def _insert_output_barrier(self, epoch: int) -> None:
+        """Fence this epoch's buffered output at checkpoint time.
+
+        NiLiCon inserts the per-epoch egress barrier that the backup's
+        post-commit ack releases.  HyCoR overrides this to a no-op: its
+        egress fences are flush-sequence barriers inserted by the log
+        shipper, and checkpoints carry no release authority.
+        """
+        self.netbuffer.insert_epoch_barrier(epoch)
+
+    def _state_extra(self, epoch: int) -> dict:
+        """Extra fields for the epoch's state message (HyCoR adds the log
+        flush sequence the checkpoint supersedes)."""
+        return {}
+
+    def _handle_message(self, kind: str, message: dict) -> None:
+        """Mode-specific control messages on the ack channel (HyCoR's
+        ``log_ack``); unknown kinds are ignored."""
+
     def _send_state(
         self, epoch: int, image, page_digests: dict[str, int] | None = None
     ) -> None:
@@ -319,16 +341,18 @@ class PrimaryAgent:
         compressed = self.config.compress_transfer
         if compressed:
             size = max(1024, int(size * self.config.compression_ratio))
+        message = {
+            "kind": "state",
+            "epoch": epoch,
+            "image": image,
+            "compressed": compressed,
+            # Per-page CRCs for backup-side verification; metadata only
+            # (a few bytes per page on the real wire), not charged.
+            "page_digests": page_digests,
+        }
+        message.update(self._state_extra(epoch))
         self.endpoint.send(
-            {
-                "kind": "state",
-                "epoch": epoch,
-                "image": image,
-                "compressed": compressed,
-                # Per-page CRCs for backup-side verification; metadata only
-                # (a few bytes per page on the real wire), not charged.
-                "page_digests": page_digests,
-            },
+            message,
             size_bytes=size,
             chunks=image.chunk_count(),
         )
@@ -352,7 +376,6 @@ class PrimaryAgent:
     # ------------------------------------------------------------------ #
     def _ack_loop(self) -> Generator[Any, Any, None]:
         engine = self.engine  # hoisted off the per-ack hot loop (PERF004)
-        netbuffer = self.netbuffer
         while not self._stopped:
             try:
                 delivery = yield self.endpoint.recv()
@@ -373,27 +396,43 @@ class PrimaryAgent:
                     event.succeed(None)
                 continue
             if kind != "ack":
+                self._handle_message(kind, message)
                 continue
             epoch = message["epoch"]
             trace(engine, "epoch", "acked", epoch=epoch)
-            # One read of the high-water mark per ack; the local tracks the
-            # (single, cumulative) advance below.
-            acked = netbuffer.acked_epoch
-            if epoch > acked:
-                record_access(engine, netbuffer, "acked_epoch", "w",
-                              site="primary.ack_loop")
-                netbuffer.acked_epoch = acked = epoch
-            # Cumulative release: drain every barrier up to the highest
-            # acknowledged epoch.  Addressed by epoch id, so a duplicated,
-            # reordered or dropped ack can never pop a later epoch's
-            # barrier — a skipped ack is healed by the next one.
-            released = netbuffer.release_epoch(acked)
-            self.metrics.packets_released += released
-            for pending in sorted(self._receipt_events):  # nlint: disable=PERF003 -- receipts must wake in epoch order; the pending set is tiny
-                if pending > acked:
-                    break
-                record_access(engine, self, "receipt_events", "w", key=pending,
-                              site="primary.ack_loop.release_receipt")
-                event = self._receipt_events.pop(pending)
-                if not event.triggered:
-                    event.succeed(None)
+            self._on_ack(epoch)
+
+    def _on_ack(self, epoch: int) -> None:
+        """React to the backup's post-commit acknowledgment of *epoch*.
+
+        NiLiCon: advance the acked high-water mark and drain every egress
+        barrier up to it (output commit).  HyCoR overrides this — a
+        checkpoint commit truncates replay work but releases no output.
+        """
+        engine = self.engine
+        netbuffer = self.netbuffer
+        # One read of the high-water mark per ack; the local tracks the
+        # (single, cumulative) advance below.
+        acked = netbuffer.acked_epoch
+        if epoch > acked:
+            record_access(engine, netbuffer, "acked_epoch", "w",
+                          site="primary.ack_loop")
+            netbuffer.acked_epoch = acked = epoch
+        # Cumulative release: drain every barrier up to the highest
+        # acknowledged epoch.  Addressed by epoch id, so a duplicated,
+        # reordered or dropped ack can never pop a later epoch's
+        # barrier — a skipped ack is healed by the next one.
+        released = netbuffer.release_epoch(acked)
+        self.metrics.packets_released += released
+        self._wake_receipts(acked)
+
+    def _wake_receipts(self, through: int) -> None:
+        engine = self.engine
+        for pending in sorted(self._receipt_events):  # nlint: disable=PERF003 -- receipts must wake in epoch order; the pending set is tiny
+            if pending > through:
+                break
+            record_access(engine, self, "receipt_events", "w", key=pending,
+                          site="primary.ack_loop.release_receipt")
+            event = self._receipt_events.pop(pending)
+            if not event.triggered:
+                event.succeed(None)

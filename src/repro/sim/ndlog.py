@@ -88,6 +88,13 @@ class NDLog:
         #: running CRC32 per stream, folded in sequence order.
         self._stream_crcs: dict[str, int] = {}
         self.n_draws = 0
+        #: Epoch segmentation marks (:meth:`begin_segment`): each entry is
+        #: ``(epoch, per-stream draw counts at the mark)``.  Draws recorded
+        #: after a mark belong to that mark's segment.
+        self._segment_marks: list[tuple[int, dict[str, int]]] = []
+        #: Set by :meth:`from_segmented_dict` when the open tail segment
+        #: arrived short of its declared draw count (mid-epoch crash).
+        self.truncated_tail = False
 
     # -- digest -------------------------------------------------------- #
     def _fold(self, stream: str, seq: int, method: str, value: Any) -> None:
@@ -192,6 +199,162 @@ class NDLog:
                 "<log>", 0,
                 f"log digest mismatch: file says {declared}, entries hash "
                 f"to {log.digest()}")
+        if mode == "replay":
+            log._stream_crcs = {}  # replay re-folds as it consumes
+            log.n_draws = 0
+        return log
+
+    # -- epoch segmentation (HyCoR log shipping) ------------------------- #
+    def begin_segment(self, epoch: int) -> None:
+        """Open epoch *epoch*'s segment: draws recorded from here on belong
+        to it.  HyCoR ships the open segment continuously and closes it at
+        each checkpoint, so a failover can replay exactly the tail past the
+        last committed checkpoint."""
+        self._segment_marks.append((epoch, self.draw_counts()))
+
+    def segment_epochs(self) -> list[int]:
+        return [epoch for epoch, _counts in self._segment_marks]
+
+    def _marks(self) -> list[tuple[int, dict[str, int]]]:
+        # An unmarked log is one implicit whole-log segment (epoch 0).
+        return self._segment_marks or [(0, {})]
+
+    def _segment_window(self, index: int) -> tuple[dict[str, int], dict[str, int]]:
+        marks = self._marks()
+        start = marks[index][1]
+        end = marks[index + 1][1] if index + 1 < len(marks) else self.draw_counts()
+        return start, end
+
+    def _segment_crc(
+        self, start: dict[str, int], end: dict[str, int]
+    ) -> tuple[str, bool]:
+        """``(digest, complete)`` for the draw window [start, end).
+
+        Folds exactly like :meth:`_fold` (global per-stream sequence
+        numbers, so a shifted draw changes every later segment's digest),
+        then combines streams like :meth:`digest`.  *complete* is False
+        when some stream holds fewer draws than *end* declares — a
+        truncated window whose digest cannot be meaningful."""
+        complete = True
+        crcs: dict[str, int] = {}
+        for name in sorted(set(start) | set(end)):
+            lo = start.get(name, 0)
+            hi = end.get(name, 0)
+            draws = self._entries.get(name, [])
+            if len(draws) < hi:
+                complete = False
+                hi = len(draws)
+            crc = 0
+            for seq in range(lo, hi):
+                method, value = draws[seq]
+                crc = zlib.crc32(
+                    f"{seq}|{method}|{value!r}".encode("utf-8"), crc)
+            if hi > lo:
+                crcs[name] = crc
+        combined = 0
+        for name in sorted(crcs):
+            combined = zlib.crc32(
+                f"{name}|{crcs[name]:08x}".encode("utf-8"), combined)
+        return format(combined, "08x"), complete
+
+    def segment_digest(self, index: int) -> str:
+        start, end = self._segment_window(index)
+        digest, _complete = self._segment_crc(start, end)
+        return digest
+
+    def segment_digests(self) -> list[str]:
+        return [self.segment_digest(i) for i in range(len(self._marks()))]
+
+    def segment_entries(
+        self, index: int
+    ) -> Iterator[tuple[str, int, str, Any]]:
+        """The segment's draws as ``(stream, seq, method, value)``, in
+        per-stream sequence order (cross-stream interleaving is scheduling,
+        not provenance — same doctrine as :meth:`digest`)."""
+        start, end = self._segment_window(index)
+        yield from self.window_entries(start, end)
+
+    def window_entries(
+        self, start: dict[str, int], end: dict[str, int]
+    ) -> Iterator[tuple[str, int, str, Any]]:
+        """:meth:`segment_entries` for an arbitrary draw-count window
+        ``[start, end)`` — the HyCoR shipper flushes sub-segment windows
+        between checkpoint marks."""
+        for name in sorted(set(start) | set(end)):
+            draws = self._entries.get(name, [])
+            for seq in range(start.get(name, 0),
+                             min(end.get(name, 0), len(draws))):
+                method, value = draws[seq]
+                yield name, seq, method, value
+
+    def window_digest(self, start: dict[str, int], end: dict[str, int]) -> str:
+        """Digest of the draw window ``[start, end)`` in the same per-stream
+        CRC discipline as :meth:`segment_digest` (global sequence numbers,
+        streams combined in sorted order)."""
+        digest, _complete = self._segment_crc(start, end)
+        return digest
+
+    def to_segmented_dict(self) -> dict:
+        """Serialized form carrying per-epoch segment digests, so a reader
+        can verify every *closed* segment independently and tolerate a
+        truncated open tail (:meth:`from_segmented_dict`)."""
+        marks = self._marks()
+        return {
+            "format": "ndlog-segments/1",
+            "digest": self.digest(),
+            "n_draws": self.n_draws,
+            "marks": [[epoch, dict(counts)] for epoch, counts in marks],
+            "segment_digests": self.segment_digests(),
+            "counts": self.draw_counts(),
+            "streams": {
+                name: [[method, value] for method, value in draws]
+                for name, draws in self._entries.items()
+            },
+        }
+
+    @classmethod
+    def from_segmented_dict(
+        cls, data: dict, mode: str = "replay",
+        tolerate_truncated_tail: bool = True,
+    ) -> "NDLog":
+        """Load a segmented log, verifying per-segment digests.
+
+        Every closed segment must be complete and hash-identical, or the
+        load refuses with :exc:`ReplayDivergence` naming the epoch.  The
+        final (open) segment may arrive short of its declared draw counts
+        — a primary that crashed mid-epoch shipped only a prefix — and is
+        accepted with ``truncated_tail=True`` when
+        *tolerate_truncated_tail* is set; a complete tail is verified like
+        any closed segment."""
+        log = cls(mode="record")
+        for name in sorted(data.get("streams", {})):
+            for method, value in data["streams"][name]:
+                log.record(name, method, value)
+        log._segment_marks = [
+            (epoch, dict(counts)) for epoch, counts in data.get("marks", [])
+        ]
+        declared_counts = dict(data.get("counts", {}))
+        declared_digests = list(data.get("segment_digests", []))
+        marks = log._marks()
+        for index, (epoch, start) in enumerate(marks):
+            is_tail = index == len(marks) - 1
+            end = marks[index + 1][1] if not is_tail else declared_counts
+            computed, complete = log._segment_crc(start, end)
+            if not complete:
+                if is_tail and tolerate_truncated_tail:
+                    log.truncated_tail = True
+                    continue
+                raise ReplayDivergence(
+                    f"<segment:{epoch}>", 0,
+                    f"segment for epoch {epoch} is truncated "
+                    f"{'' if is_tail else '(not the tail) '}and cannot be "
+                    f"verified")
+            if index < len(declared_digests) and declared_digests[index] != computed:
+                raise ReplayDivergence(
+                    f"<segment:{epoch}>", 0,
+                    f"segment digest mismatch for epoch {epoch}: log says "
+                    f"{declared_digests[index]}, entries hash to {computed}")
+        log.mode = mode
         if mode == "replay":
             log._stream_crcs = {}  # replay re-folds as it consumes
             log.n_draws = 0

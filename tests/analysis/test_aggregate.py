@@ -8,10 +8,19 @@ their own suites and by CI's ``make analyze``).
 from repro.analysis.aggregate import _BASELINES, STEPS, collect_findings
 
 
-def test_steps_cover_all_six_analyzers():
+def test_steps_cover_all_six_analyzers_plus_hycor_gate():
     analyzers = {analyzer for analyzer, _, _ in STEPS}
     assert analyzers == {"nlint", "races", "ckptcov", "perf", "ndflow",
-                         "ftcov"}
+                         "ftcov", "hycor"}
+
+
+def test_hycor_step_mirrors_the_make_target():
+    hycor_smoke = [smoke for analyzer, smoke, _ in STEPS
+                   if analyzer == "hycor"]
+    assert ("hycor", "bench", "--smoke", "--check", "BENCH_hycor.json") in \
+        hycor_smoke
+    full = [full for analyzer, _, full in STEPS if analyzer == "hycor"]
+    assert ("hycor", "bench", "--check", "BENCH_hycor.json") in full
 
 
 def test_ftcov_steps_mirror_the_make_target():

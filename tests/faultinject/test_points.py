@@ -18,11 +18,12 @@ def test_hooked_points_finds_all_registered_names():
 
 def test_registry_covers_all_roles():
     assert {name.split(".")[0] for name in FAULT_POINTS} == {
-        "primary", "backup", "fleet",
+        "primary", "backup", "fleet", "hycor",
     }
     assert "primary.post_freeze" in FAULT_POINTS
     assert "backup.mid_recover" in FAULT_POINTS
     assert "fleet.mid_reprotect" in FAULT_POINTS
+    assert "hycor.mid_log_ship" in FAULT_POINTS
 
 
 def test_checker_reports_undeclared_hook_site(tmp_path):

@@ -1,0 +1,194 @@
+"""HyCoR mode unit behaviors: flush digests, log shipping, replay.
+
+The end-to-end failure windows (log gap at failover, replay divergence,
+crash mid-ship) live in the fault-injection campaign; these tests pin the
+building blocks — the wire digest against the NDLog's own window digest,
+the shipper's fence-then-ship ordering, and the backup's durable-sequence
+bookkeeping — at unit scale.
+"""
+
+import pytest
+
+from repro.net import World
+from repro.replication import NiliconConfig
+from repro.replication.hycor import flush_digest, hycor_flush_seq
+from repro.sim import ms, sec
+from repro.sim.ndlog import NDLog
+
+from .conftest import make_deployment
+
+
+def make_hycor(world, **kwargs):
+    return make_deployment(world, config=NiliconConfig.hycor(), **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# flush_digest == NDLog.window_digest (the docstring's promised pin)     #
+# --------------------------------------------------------------------- #
+def test_flush_digest_matches_ndlog_window_digest():
+    log = NDLog()
+    start = log.draw_counts()
+    log.record("mm0", "write", (3, "tok-a"))
+    log.record("mm0", "write", (7, "tok-b"))
+    log.record("mm1", "write", (1, "tok-c"))
+    end = log.draw_counts()
+    entries = [list(e) for e in log.window_entries(start, end)]
+    assert flush_digest(entries) == log.window_digest(start, end)
+    # And for a later window, where the global per-stream sequence numbers
+    # have advanced: the digests must stay aligned window-for-window.
+    log.record("mm1", "write", (2, "tok-d"))
+    later = log.draw_counts()
+    tail = [list(e) for e in log.window_entries(end, later)]
+    assert flush_digest(tail) == log.window_digest(end, later)
+    assert flush_digest(tail) != flush_digest(entries)
+
+
+def test_flush_digest_detects_any_entry_mutation():
+    log = NDLog()
+    start = log.draw_counts()
+    log.record("mm0", "write", (3, "tok-a"))
+    end = log.draw_counts()
+    entries = [list(e) for e in log.window_entries(start, end)]
+    good = flush_digest(entries)
+    entries[0][2] = "corrupted-write"
+    assert flush_digest(entries) != good
+
+
+def test_empty_window_digest_is_stable():
+    log = NDLog()
+    counts = log.draw_counts()
+    assert flush_digest([]) == log.window_digest(counts, counts)
+
+
+# --------------------------------------------------------------------- #
+# Steady-state shipping                                                  #
+# --------------------------------------------------------------------- #
+def test_hycor_ships_flushes_and_advances_durable_seq():
+    world = World(seed=11)
+    deployment = make_hycor(world)
+    deployment.start()
+    world.run(until=ms(600))
+    deployment.stop()
+
+    backup = deployment.backup_agent
+    shipper = deployment.primary_agent.shipper
+    assert backup.log_flushes_received > 10
+    assert backup.log_crc_mismatches == 0
+    # Every shipped flush arrived in order: durable tracks the shipper
+    # (the last in-flight flush may still be on the wire at stop).
+    assert shipper.seq - 2 <= backup.durable_seq <= shipper.seq
+    assert not backup._future_flushes
+    # The adoption horizon is persisted on the container itself.
+    assert hycor_flush_seq(deployment.container) == shipper.seq
+
+
+def test_hycor_releases_output_on_log_commit_not_checkpoint():
+    world = World(seed=12)
+    deployment = make_hycor(world)
+    deployment.start()
+    world.run(until=ms(600))
+    deployment.stop()
+
+    # Barriers are flush sequences (one per ~3ms window), not checkpoint
+    # epochs (one per ~30ms): far more release fences than epochs.
+    releases = deployment.netbuffer.releases
+    assert len(releases) > 2 * deployment.primary_agent.epoch
+    assert not deployment.audit_output_commit()
+    assert deployment.netbuffer.release_lag() == 0
+
+
+def test_hycor_failover_replays_log_tail():
+    world = World(seed=13)
+    deployment = make_hycor(world)
+    deployment.start()
+
+    def dirty():
+        proc = deployment.container.processes[0]
+        heap = deployment.container.heap_vma_of(proc)
+        i = 0
+        while not deployment.container.dead:
+            yield world.engine.timeout(ms(2))
+            proc.mm.write(heap.start + i % 40, f"tok-{i}".encode())
+            i += 1
+
+    world.engine.process(dirty())
+    world.run(until=ms(500))
+    deployment.inject_fail_stop()
+    world.run(until=world.now + sec(2))
+
+    backup = deployment.backup_agent
+    assert deployment.failed_over
+    assert deployment.restored_container is not None
+    # Replay advanced the horizon past the checkpoint's frozen log_seq,
+    # through every durable flush.
+    assert backup.replay_horizon_seq == backup.durable_seq
+    assert backup.replayed_flushes > 0
+    assert backup.replay_divergences == 0
+    assert backup.log_gap_detected is False
+    assert deployment.metrics.recovery.replay_us > 0
+
+
+def test_nilicon_deployment_has_no_shipper():
+    world = World(seed=14)
+    deployment = make_deployment(world)
+    deployment.start()
+    world.run(until=ms(200))
+    deployment.stop()
+    assert not hasattr(deployment.primary_agent, "shipper")
+    assert deployment.mode.release_rule == "checkpoint-commit"
+    assert hycor_flush_seq(deployment.container) == 0
+
+
+# --------------------------------------------------------------------- #
+# Backup-side sequence discipline                                        #
+# --------------------------------------------------------------------- #
+def test_backup_parks_past_gap_and_heals_on_checkpoint_supersede():
+    world = World(seed=15)
+    deployment = make_hycor(world)
+    deployment.start()
+    world.run(until=ms(300))
+    backup = deployment.backup_agent
+
+    durable = backup.durable_seq
+    hole, after = durable + 1, durable + 2
+    # A flush arrives past a hole: it must park, not commit.
+    backup._on_ndlog({"seq": after, "entries": [], "counts": {}, "crc": flush_digest([])})
+    assert backup.durable_seq == durable
+    assert after in backup._future_flushes
+    # A checkpoint whose frozen log_seq covers the hole supersedes it:
+    # durable jumps to the base and the parked successor unparks.
+    backup._after_commit(backup.committed_epoch, {"log_seq": hole})
+    assert backup.durable_seq >= after
+    assert not backup._future_flushes
+    deployment.stop()
+
+
+def test_backup_refuses_flush_with_bad_digest():
+    world = World(seed=16)
+    deployment = make_hycor(world)
+    deployment.start()
+    world.run(until=ms(300))
+    backup = deployment.backup_agent
+
+    durable = backup.durable_seq
+    backup._on_ndlog({
+        "seq": durable + 1,
+        "entries": [["mm0", 0, "write", (1, "tok")]],
+        "counts": {"mm0": 1},
+        "crc": "ffffffff",
+    })
+    assert backup.durable_seq == durable
+    assert backup.log_crc_mismatches == 1
+    deployment.stop()
+
+
+@pytest.mark.parametrize("mode,expected", [
+    ("nilicon", "epoch_commit"),
+    ("hycor", "log_commit"),
+])
+def test_netbuffer_ledger_kind_follows_mode(mode, expected):
+    world = World(seed=17)
+    deployment = make_deployment(
+        world, config=NiliconConfig.nilicon().with_(mode=mode)
+    )
+    assert deployment.netbuffer.commit_ledger_kind == expected

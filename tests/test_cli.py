@@ -18,6 +18,14 @@ def test_list_workloads(capsys):
         assert name in out
 
 
+def test_modes_list(capsys):
+    assert main(["modes", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("stock", "nilicon", "hycor", "mc"):
+        assert name in out
+    assert "log-commit" in out and "checkpoint-commit" in out
+
+
 def test_bench_server(capsys):
     assert main(["bench", "net", "--mode", "stock", "--duration-ms", "500"]) == 0
     out = capsys.readouterr().out
